@@ -1,0 +1,21 @@
+"""Benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+simulations are deterministic, so each runs exactly once
+(``benchmark.pedantic(rounds=1, iterations=1)``); the *measured wall
+time* is the cost of regenerating the artifact, and the benchmark's
+``extra_info`` carries the reproduced rows so results land in the
+pytest-benchmark JSON.
+"""
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run one experiment under pytest-benchmark and check its shape."""
+    experiment = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["paper_reference"] = experiment.paper_reference
+    benchmark.extra_info["rows"] = experiment.rows
+    benchmark.extra_info["expectations"] = [str(e) for e in experiment.expectations]
+    experiment.check()
+    return experiment

@@ -1,0 +1,20 @@
+"""Ablations of design choices the paper calls out in the text."""
+
+from repro.experiments import ablations
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_mc_fifo_cache(benchmark):
+    run_experiment(benchmark, ablations.run_mc_cache)
+
+
+def test_ablation_dynamic_migration(benchmark):
+    run_experiment(benchmark, ablations.run_migration)
+
+
+def test_ablation_dram_compaction(benchmark):
+    run_experiment(benchmark, ablations.run_compaction)
+
+
+def test_ablation_near_memory_engines(benchmark):
+    run_experiment(benchmark, ablations.run_near_memory)

@@ -1,0 +1,11 @@
+"""Fig. 16: near-cache data transformation (decompression)."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_experiment
+
+
+def test_fig16_decompression(benchmark):
+    experiment = run_experiment(benchmark, figures.run_fig16)
+    speedups = {r["variant"]: r["speedup"] for r in experiment.rows}
+    benchmark.extra_info["leviathan_speedup"] = speedups["leviathan"]
+    benchmark.extra_info["paper_speedup"] = 2.4

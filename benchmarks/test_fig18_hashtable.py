@@ -1,0 +1,11 @@
+"""Fig. 18: hash-table lookups across object sizes."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_experiment
+
+
+def test_fig18_hashtable_sizes(benchmark):
+    experiment = run_experiment(benchmark, figures.run_fig18)
+    lev = [r["speedup"] for r in experiment.rows if r["variant"] == "leviathan"]
+    benchmark.extra_info["leviathan_speedups_by_size"] = lev
+    benchmark.extra_info["paper_speedup"] = "up to 2.0x"

@@ -1,0 +1,11 @@
+"""Fig. 20: decoupled graph traversal (HATS)."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_experiment
+
+
+def test_fig20_hats(benchmark):
+    experiment = run_experiment(benchmark, figures.run_fig20)
+    speedups = {r["variant"]: r["speedup"] for r in experiment.rows}
+    benchmark.extra_info["leviathan_speedup"] = speedups["leviathan"]
+    benchmark.extra_info["paper_speedup"] = 1.7

@@ -1,0 +1,8 @@
+"""Fig. 21: HATS performance breakdown (DRAM, mispredicts, engine work)."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_experiment
+
+
+def test_fig21_hats_breakdown(benchmark):
+    run_experiment(benchmark, figures.run_fig21)

@@ -1,0 +1,8 @@
+"""Fig. 22: invoke-buffer sensitivity (PHI)."""
+
+from repro.experiments import sensitivity
+from benchmarks.conftest import run_experiment
+
+
+def test_fig22_invoke_buffer(benchmark):
+    run_experiment(benchmark, sensitivity.run_fig22)

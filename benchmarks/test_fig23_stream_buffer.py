@@ -1,0 +1,8 @@
+"""Fig. 23: stream-buffer sensitivity (HATS)."""
+
+from repro.experiments import sensitivity
+from benchmarks.conftest import run_experiment
+
+
+def test_fig23_stream_buffer(benchmark):
+    run_experiment(benchmark, sensitivity.run_fig23)

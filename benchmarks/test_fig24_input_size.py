@@ -1,0 +1,8 @@
+"""Fig. 24: input-size sensitivity (hash table vs. LLC capacity)."""
+
+from repro.experiments import sensitivity
+from benchmarks.conftest import run_experiment
+
+
+def test_fig24_input_size(benchmark):
+    run_experiment(benchmark, sensitivity.run_fig24)

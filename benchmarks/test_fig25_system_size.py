@@ -1,0 +1,8 @@
+"""Fig. 25: system-size sensitivity (hash table, 4-64 tiles)."""
+
+from repro.experiments import sensitivity
+from benchmarks.conftest import run_experiment
+
+
+def test_fig25_system_size(benchmark):
+    run_experiment(benchmark, sensitivity.run_fig25)

@@ -1,0 +1,12 @@
+"""Fig. 5: PHI / commutative scatter-updates (PageRank)."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_experiment
+
+
+def test_fig5_phi_pagerank(benchmark):
+    experiment = run_experiment(benchmark, figures.run_fig5)
+    # Surface the headline factors in the benchmark record.
+    speedups = {r["variant"]: r["speedup"] for r in experiment.rows}
+    benchmark.extra_info["leviathan_speedup"] = speedups["leviathan"]
+    benchmark.extra_info["paper_speedup"] = 3.7

@@ -1,0 +1,24 @@
+"""Tables I-V: taxonomy, actions, microarchitecture, area, parameters."""
+
+from repro.experiments import tables
+from benchmarks.conftest import run_experiment
+
+
+def test_table1_taxonomy(benchmark):
+    run_experiment(benchmark, tables.run_table1)
+
+
+def test_table2_actions(benchmark):
+    run_experiment(benchmark, tables.run_table2)
+
+
+def test_table3_microarchitecture(benchmark):
+    run_experiment(benchmark, tables.run_table3)
+
+
+def test_table4_area_overhead(benchmark):
+    run_experiment(benchmark, tables.run_table4)
+
+
+def test_table5_system_parameters(benchmark):
+    run_experiment(benchmark, tables.run_table5)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Decoupled graph traversal with a Leviathan stream (Fig. 19).
+
+A near-data producer walks a community-structured graph in bounded-DFS
+order and streams edges to the consumer core, which runs one PageRank
+edge phase over them. The consumer's control flow is a simple loop --
+the hard-to-predict traversal lives on the engine.
+
+Run:  python examples/decoupled_graph_stream.py
+"""
+
+import numpy as np
+
+from repro.core.runtime import Leviathan
+from repro.core.stream import Stream, STREAM_END
+from repro.sim.config import SystemConfig
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+from repro.workloads.graphs import community_graph
+
+N_VERTICES = 1024
+N_EDGES = 8192
+BDFS_DEPTH = 8
+
+
+class EdgeStream(Stream):
+    """``class LeviathanHATS extends Leviathan::Stream<Edge>``."""
+
+    def __init__(self, runtime, graph, neighbors_base, active_base):
+        self.graph = graph
+        self.neighbors_base = neighbors_base
+        self.active_base = active_base
+        super().__init__(
+            runtime,
+            object_size=8,
+            buffer_entries=64,
+            consumer_tile=0,
+            capacity_hint=graph.n_edges,
+        )
+
+    def gen_stream(self, env):
+        graph = self.graph
+        active = np.ones(graph.n_vertices, dtype=bool)
+        emitted = 0
+        for root in range(graph.n_vertices):
+            if not active[root]:
+                continue
+            active[root] = False
+            stack = [root]
+            while stack:
+                dst = stack.pop()
+                for src in graph.in_neighbors(dst):
+                    src = int(src)
+                    yield Load(self.neighbors_base + emitted * 4, 4)
+                    yield Load(self.active_base + src // 8, 1)
+                    yield Compute(4)
+                    yield from self.push((src, dst))
+                    emitted += 1
+                    if len(stack) < BDFS_DEPTH and active[src]:
+                        active[src] = False
+                        stack.append(src)
+
+
+def main():
+    machine = Machine(SystemConfig())
+    runtime = Leviathan(machine)
+    graph = community_graph(N_VERTICES, N_EDGES, intra_fraction=0.95, seed=5)
+
+    space = machine.address_space
+    contrib_base = space.alloc(N_VERTICES * 8, align=64)
+    rank_base = space.alloc(N_VERTICES * 8, align=64)
+    neighbors_base = space.alloc(N_EDGES * 4, align=64)
+    active_base = space.alloc(N_VERTICES // 8, align=64)
+
+    rng = np.random.default_rng(5)
+    contrib = rng.random(N_VERTICES) / np.maximum(graph.out_degree, 1)
+    ranks = {v: 0.0 for v in range(N_VERTICES)}
+
+    stream = EdgeStream(runtime, graph, neighbors_base, active_base)
+    stream.start()
+    processed = []
+
+    def consumer():
+        count = 0
+        while True:
+            edge = yield from stream.consume()
+            if edge is STREAM_END:
+                break
+            src, dst = edge
+            yield Load(contrib_base + src * 8, 8)
+            yield Compute(3)
+            yield Store(rank_base + dst * 8, 8)
+            ranks[dst] += contrib[src]
+            count += 1
+        processed.append(count)
+
+    machine.spawn(consumer(), tile=0, name="consumer")
+    cycles = machine.run()
+
+    oracle = np.zeros(N_VERTICES)
+    dsts = np.repeat(np.arange(N_VERTICES), np.diff(graph.offsets))
+    np.add.at(oracle, dsts, contrib[graph.neighbors])
+    got = np.array([ranks[v] for v in range(N_VERTICES)])
+    assert np.allclose(got, oracle), "stream-ordered PageRank diverged"
+    assert processed[0] == graph.n_edges
+
+    print(f"edges streamed         : {processed[0]}")
+    print(f"simulated cycles       : {cycles:,.0f}")
+    print(f"consumer mispredicts   : {machine.stats['core.branch_mispredictions']}")
+    print(f"producer ran ahead     : {machine.stats['stream.push_blocks']} buffer-full blocks")
+    print(f"pop messages           : {machine.stats['stream.pop_messages']}")
+    print("rank vector matches the CSR-order oracle")
+
+
+if __name__ == "__main__":
+    main()

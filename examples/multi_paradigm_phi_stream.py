@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""All four paradigms composed: streaming PHI (Sec. V-B4).
+
+The paper's closing argument is that paradigms must *interact*:
+"It is possible to further combine PHI with streaming by decoupling the
+graph traversal from the cores to improve cache locality."
+
+This example builds exactly that pipeline:
+
+  stream (BDFS traversal on an engine)
+    -> consumer core (regular control flow)
+      -> task offload (RMW near each vertex's LLC bank)
+        -> data-triggered phantom deltas (zero-fill on insert,
+           bin-or-apply on evict)
+
+Run:  python examples/multi_paradigm_phi_stream.py
+"""
+
+import numpy as np
+
+from repro.core.actor import Actor, action
+from repro.core.morph import Morph
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.core.stream import Stream, STREAM_END
+from repro.sim.config import SystemConfig, CacheConfig
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+from repro.workloads.graphs import community_graph
+
+N_VERTICES = 1024
+N_EDGES = 8192
+
+
+class DeltaMorph(Morph):
+    """PHI's phantom per-vertex deltas."""
+
+    def __init__(self, runtime, n, rank_base):
+        self.rank_base = rank_base
+        super().__init__(runtime, "llc", n, 8, name="deltas")
+
+    def construct(self, view, index):
+        self.machine.mem[self.get_actor_addr(index)] = 0.0
+        yield Compute(1)
+
+    def destruct(self, view, index, dirty):
+        mem = self.machine.mem
+        delta = mem.get(self.get_actor_addr(index), 0.0)
+        if dirty and delta:
+            addr = self.rank_base + index * 8
+            yield Load(addr, 8)
+            yield Compute(1)
+            yield Store(addr, 8, apply=lambda a=addr, d=delta: mem.__setitem__(
+                a, mem.get(a, 0.0) + d))
+            mem[self.get_actor_addr(index)] = 0.0
+
+
+class DeltaActor(Actor):
+    SIZE = 8
+
+    @action
+    def add(self, env, amount):
+        mem = env.machine.mem
+        yield Store(self.addr, 8, apply=lambda: mem.__setitem__(
+            self.addr, mem.get(self.addr, 0.0) + amount))
+
+
+class EdgeStream(Stream):
+    def __init__(self, runtime, graph, contrib):
+        self.graph = graph
+        self.contrib = contrib
+        super().__init__(
+            runtime, object_size=8, buffer_entries=64, consumer_tile=0,
+            capacity_hint=graph.n_edges,
+        )
+
+    def gen_stream(self, env):
+        graph = self.graph
+        active = np.ones(graph.n_vertices, dtype=bool)
+        for root in range(graph.n_vertices):
+            if not active[root]:
+                continue
+            active[root] = False
+            stack = [root]
+            while stack:
+                dst = stack.pop()
+                for src in graph.in_neighbors(dst):
+                    src = int(src)
+                    yield Compute(4)
+                    yield from self.push((src, dst))
+                    if len(stack) < 8 and active[src]:
+                        active[src] = False
+                        stack.append(src)
+
+
+def main():
+    cfg = SystemConfig(
+        l1=CacheConfig(size_kb=2, ways=4, tag_latency=1, data_latency=2),
+        l2=CacheConfig(size_kb=8, ways=8, tag_latency=2, data_latency=4),
+        llc=CacheConfig(size_kb=4, ways=8, tag_latency=3, data_latency=5),
+    )
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    graph = community_graph(N_VERTICES, N_EDGES, intra_fraction=0.95, seed=9)
+
+    rng = np.random.default_rng(9)
+    contrib = rng.random(N_VERTICES) / np.maximum(graph.out_degree, 1)
+    rank_base = machine.address_space.alloc(N_VERTICES * 8, align=64)
+    for v in range(N_VERTICES):
+        machine.mem[rank_base + v * 8] = 0.0
+
+    morph = DeltaMorph(runtime, N_VERTICES, rank_base)
+    actors = []
+    for v in range(N_VERTICES):
+        actor = DeltaActor()
+        actor.addr = morph.get_actor_addr(v)
+        actors.append(actor)
+
+    stream = EdgeStream(runtime, graph, contrib)
+    stream.start()
+
+    def consumer():
+        while True:
+            edge = yield from stream.consume()
+            if edge is STREAM_END:
+                return
+            src, dst = edge
+            yield Compute(2)
+            yield Invoke(
+                actors[dst], "add", (float(contrib[src]),), location=Location.REMOTE
+            )
+
+    machine.spawn(consumer(), tile=0, name="consumer")
+    cycles = machine.run()
+    morph.unregister()
+
+    oracle = np.zeros(N_VERTICES)
+    dsts = np.repeat(np.arange(N_VERTICES), np.diff(graph.offsets))
+    np.add.at(oracle, dsts, contrib[graph.neighbors])
+    got = np.array([machine.mem[rank_base + v * 8] for v in range(N_VERTICES)])
+    assert np.allclose(got, oracle), "streaming PHI diverged from the oracle"
+
+    print(f"edges processed        : {graph.n_edges}")
+    print(f"simulated cycles       : {cycles:,.0f}")
+    print("paradigms engaged:")
+    print(f"  streaming            : {machine.stats['stream.pushes']} pushes")
+    print(f"  task offload         : {machine.stats['engine.tasks']} engine tasks")
+    print(f"  data-triggered       : {machine.stats['morph.llc_constructions']} ctors, "
+          f"{machine.stats['morph.llc_destructions']} dtors")
+    print(f"  long-lived           : the stream producer itself")
+    print("rank vector matches the oracle — all paradigms interoperate")
+
+
+if __name__ == "__main__":
+    main()

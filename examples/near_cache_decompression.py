@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Near-cache data transformation: Fig. 15 of the paper, runnable.
+
+A compressed image (base + delta per channel) is stored in memory;
+pixels decompress *as their lines enter the L2*, so the core reuses
+decompressed data from its private caches and never runs the
+decompression arithmetic itself.
+
+Run:  python examples/near_cache_decompression.py
+"""
+
+import numpy as np
+
+from repro.core.morph import Morph
+from repro.core.runtime import Leviathan
+from repro.sim.config import SystemConfig
+from repro.sim.ops import Compute, Load
+from repro.sim.system import Machine
+
+N_PIXELS = 4096
+N_ACCESSES = 8192
+CHANNELS = 3
+
+
+class PixelDecompressor(Morph):
+    """Fig. 15: ``class Decompressor extends Leviathan::Morph<Pixel>``.
+
+    The actor is a 6-byte pixel (3x uint16); Leviathan pads it to 8
+    bytes so the constructor always sees whole objects.
+    """
+
+    def __init__(self, runtime, bases, deltas, base_addrs, delta_addrs):
+        self.bases = bases
+        self.deltas = deltas
+        self.base_addrs = base_addrs
+        self.delta_addrs = delta_addrs
+        super().__init__(
+            runtime, level="l2", n_actors=N_PIXELS, object_size=6, name="decompressor"
+        )
+
+    def construct(self, view, index):
+        colors = []
+        for c in range(CHANNELS):
+            yield Load(self.base_addrs[c] + (index >> 3) * 2, 2)
+            yield Load(self.delta_addrs[c] + index, 1)
+            base = int(self.bases[c][index >> 3])
+            delta = int(self.deltas[c][index])
+            mantissa = delta & 0b1111
+            exponent = delta >> 4
+            colors.append(base + (mantissa << exponent))
+        yield Compute(20)
+        self.machine.mem[self.get_actor_addr(index)] = tuple(colors)
+
+
+def main():
+    machine = Machine(SystemConfig())
+    runtime = Leviathan(machine)
+    rng = np.random.default_rng(0)
+
+    bases = rng.integers(0, 4096, size=(CHANNELS, N_PIXELS // 8 + 1))
+    deltas = rng.integers(0, 256, size=(CHANNELS, N_PIXELS))
+    base_addrs = [machine.address_space.alloc(bases.shape[1] * 2, align=64) for _ in range(CHANNELS)]
+    delta_addrs = [machine.address_space.alloc(N_PIXELS, align=64) for _ in range(CHANNELS)]
+
+    morph = PixelDecompressor(runtime, bases, deltas, base_addrs, delta_addrs)
+    indices = rng.integers(0, N_PIXELS, size=N_ACCESSES)
+    sums = []
+
+    def consumer():
+        total = 0
+        for idx in indices:
+            addr = morph.get_actor_addr(int(idx))
+            box = []
+            yield Load(addr, 6, apply=lambda a=addr, b=box: b.append(machine.mem[a]))
+            yield Compute(2)
+            total += sum(box[0])
+        sums.append(total)
+
+    machine.spawn(consumer(), tile=0, name="consumer")
+    cycles = machine.run()
+
+    # Validate against direct decompression.
+    expected = 0
+    for idx in indices:
+        for c in range(CHANNELS):
+            delta = int(deltas[c][idx])
+            expected += int(bases[c][idx >> 3]) + ((delta & 0b1111) << (delta >> 4))
+    assert sums[0] == expected, "decompressed values diverge from the oracle"
+
+    constructions = machine.stats["morph.l2_constructions"]
+    print(f"accesses                 : {N_ACCESSES}")
+    print(f"line constructions       : {constructions}")
+    print(f"decompressions avoided   : {N_ACCESSES - constructions * 8} (reuse!)")
+    print(f"simulated cycles         : {cycles:,.0f}")
+    print(f"checksum                 : {sums[0]} (matches software decompression)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Long-lived near-data workloads: background serialization (SerDes).
+
+Table I's long-lived exemplar: an object is transformed near memory
+while the core continues asynchronously [37, 58]. Here a core hands a
+batch of records to a serializer pinned low in the hierarchy, keeps
+computing, and collects the result through a Future — without the
+records ever polluting its private caches.
+
+Run:  python examples/serdes_long_lived.py
+"""
+
+from repro.core.actor import Actor, action
+from repro.core.future import WaitFuture
+from repro.core.offload import Invoke
+from repro.core.runtime import Leviathan
+from repro.sim.config import SystemConfig
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+
+N_RECORDS = 256
+RECORD_BYTES = 64
+
+
+class Serializer(Actor):
+    """A long-lived action that walks and serializes a record batch."""
+
+    SIZE = 8
+
+    @action
+    def serialize(self, env, src_base, dst_base, count):
+        machine = env.machine
+        written = 0
+        for i in range(count):
+            yield Load(src_base + i * RECORD_BYTES, RECORD_BYTES)
+            yield Compute(12)  # field walking, varint encoding, ...
+            record = machine.mem.get(src_base + i * RECORD_BYTES)
+            encoded = f"rec{record}".encode()
+            yield Store(dst_base + written, len(encoded))
+            machine.mem[dst_base + written] = encoded
+            written += len(encoded)
+        return written
+
+
+def main():
+    machine = Machine(SystemConfig())
+    runtime = Leviathan(machine)
+
+    src_base = machine.address_space.alloc(N_RECORDS * RECORD_BYTES, align=64)
+    dst_base = machine.address_space.alloc(N_RECORDS * 16, align=64)
+    for i in range(N_RECORDS):
+        machine.mem[src_base + i * RECORD_BYTES] = i * 7
+
+    serializer = runtime.allocator_for(Serializer, capacity=4).allocate()
+    progress = {"core_work": 0}
+    results = {}
+
+    def core_program():
+        # Kick off the serializer on a far tile, low in the hierarchy.
+        future = yield Invoke(
+            serializer,
+            "serialize",
+            (src_base, dst_base, N_RECORDS),
+            tile=machine.config.n_tiles - 1,
+            with_future=True,
+            args_bytes=24,
+        )
+        # The core keeps doing useful work while SerDes runs elsewhere.
+        for _ in range(300):
+            yield Compute(20)
+            progress["core_work"] += 1
+        results["bytes_written"] = yield WaitFuture(future)
+
+    machine.spawn(core_program(), tile=0, name="core")
+    cycles = machine.run()
+
+    # The serialized stream is complete and correct.
+    assert machine.mem[dst_base] == b"rec0"
+    print(f"records serialized   : {N_RECORDS}")
+    print(f"bytes written        : {results['bytes_written']}")
+    print(f"core work overlapped : {progress['core_work']} chunks")
+    print(f"simulated cycles     : {cycles:,.0f}")
+    print(
+        "core L1 untouched by records: "
+        f"{machine.stats['l1.accesses']} core-side L1 accesses vs "
+        f"{machine.stats['engine_l1.accesses']} engine-side"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of *Leviathan: A Unified System for General-Purpose
+Near-Data Computing* (Schwedock & Beckmann, MICRO 2024).
+
+The package is organised as:
+
+- :mod:`repro.sim` -- the substrate: a coarse-grained, event-driven
+  simulator of a tiled multicore (caches, directory coherence, mesh NoC,
+  DRAM with memory-controller caches, and an event-count energy model).
+- :mod:`repro.core` -- the paper's contribution: the Leviathan runtime
+  (actors, futures, the padding/compaction allocator, task offload,
+  data-triggered morphs, streams, and near-data engines).
+- :mod:`repro.workloads` -- the four case studies (PHI commutative
+  scatter-updates, near-cache decompression, hash-table lookups, and
+  HATS decoupled graph traversal) plus their baselines.
+- :mod:`repro.experiments` -- the benchmark harness that regenerates
+  every table and figure in the paper's evaluation.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.core.runtime import Leviathan
+from repro.core.actor import Actor, action
+from repro.core.future import Future
+from repro.core.offload import Location
+
+__all__ = [
+    "SystemConfig",
+    "Leviathan",
+    "Actor",
+    "action",
+    "Future",
+    "Location",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,43 @@
+"""The Leviathan runtime: the paper's contribution.
+
+Sub-modules map one-to-one onto Sec. V (programming interface) and
+Sec. VI (architecture) of the paper:
+
+- :mod:`repro.core.actor` / :mod:`repro.core.future` -- the actor-based
+  reactive-programming building blocks (Sec. V-A1, V-A2).
+- :mod:`repro.core.allocator` / :mod:`repro.core.mapping` -- the
+  object-oriented allocator with power-of-two padding, LLC object
+  mapping, and DRAM compaction (Sec. V-A3, VI-A3).
+- :mod:`repro.core.offload` -- task offload and long-lived workloads:
+  ``invoke`` with LOCAL/REMOTE/DYNAMIC placement, the invoke buffer, and
+  engine NACK backpressure (Sec. V-B1, VI-B1).
+- :mod:`repro.core.morph` -- data-triggered actions: constructors and
+  destructors on cache insertion/eviction (Sec. V-B2, VI-B2).
+- :mod:`repro.core.stream` -- streaming on top of long-lived +
+  data-triggered support (Sec. V-B3, VI-B3).
+- :mod:`repro.core.engine` -- the near-cache engine model (Sec. VI-A1).
+- :mod:`repro.core.runtime` -- the :class:`Leviathan` facade that wires
+  everything into a :class:`~repro.sim.system.Machine`.
+- :mod:`repro.core.area` -- the hardware-overhead model (Table IV).
+- :mod:`repro.core.fallback` -- very-large-object fallbacks (Sec. VI-C).
+"""
+
+from repro.core.actor import Actor, action
+from repro.core.future import Future, WaitFuture
+from repro.core.offload import Invoke, Location
+from repro.core.morph import Morph
+from repro.core.stream import Stream, STREAM_END
+from repro.core.runtime import Leviathan
+
+__all__ = [
+    "Actor",
+    "action",
+    "Future",
+    "WaitFuture",
+    "Invoke",
+    "Location",
+    "Morph",
+    "Stream",
+    "STREAM_END",
+    "Leviathan",
+]

@@ -1,0 +1,75 @@
+"""Actors: objects with near-data actions (Sec. V-A1).
+
+An actor combines *data* (a payload of ``SIZE`` bytes at an address
+assigned by Leviathan's allocator) with *actions* (generator methods
+marked with :func:`action`) that execute near the data.
+
+The reproduction keeps actors lightweight: the actor instance is an
+ordinary Python object whose fields the workload manipulates directly
+(functional behaviour), while ``addr``/``SIZE`` drive the timing model.
+"""
+
+
+def action(method):
+    """Mark a generator method as a near-data action.
+
+    Actions are the only methods that may be targeted by ``invoke``;
+    marking them explicitly mirrors the paper's actor classes, where the
+    set of near-data actions is part of the hardware/software contract
+    (the Morph's vtable map, Sec. VI-B2).
+    """
+    method.__is_ndc_action__ = True
+    return method
+
+
+class Actor:
+    """Base class for Leviathan actors.
+
+    Subclasses declare ``SIZE`` (the payload size in bytes -- *not*
+    padded; padding is the allocator's job) and define actions::
+
+        class Node(Actor):
+            SIZE = 24
+
+            @action
+            def lookup(self, env, key):
+                yield Load(self.addr, self.SIZE)
+                ...
+
+    ``addr`` is assigned by :class:`repro.core.allocator.Allocator`.
+    """
+
+    #: Payload size in bytes; subclasses must override.
+    SIZE = None
+
+    def __init__(self):
+        if self.SIZE is None:
+            raise TypeError(
+                f"{type(self).__name__} must declare SIZE (payload bytes)"
+            )
+        #: Base address, assigned by the allocator.
+        self.addr = None
+        #: The allocator that owns this actor (for deallocation).
+        self.allocator = None
+
+    @classmethod
+    def actions(cls):
+        """Names of all methods marked with :func:`action`."""
+        return sorted(
+            name
+            for name in dir(cls)
+            if getattr(getattr(cls, name, None), "__is_ndc_action__", False)
+        )
+
+    def action_fn(self, name):
+        """The bound action ``name``; raises if not a declared action."""
+        fn = getattr(self, name, None)
+        if fn is None or not getattr(fn, "__is_ndc_action__", False):
+            raise AttributeError(
+                f"{type(self).__name__}.{name} is not a declared NDC action"
+            )
+        return fn
+
+    def __repr__(self):
+        where = f"{self.addr:#x}" if self.addr is not None else "unallocated"
+        return f"{type(self).__name__}(addr={where}, size={self.SIZE})"

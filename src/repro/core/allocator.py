@@ -1,0 +1,227 @@
+"""The object-oriented memory allocator (Sec. V-A3, Fig. 7, Fig. 8).
+
+The allocator's three jobs, from the paper:
+
+1. **Pad small objects** to the next power-of-two size so no object
+   straddles a cache-line boundary (Fig. 8b).
+2. **Map large objects to one LLC bank** by padding to a power-of-two
+   number of lines and registering the pool for the LSB-ignoring
+   bank-index function (Sec. VI-A3).
+3. **Pack objects densely in DRAM** to avoid the fragmentation padding
+   would cause -- the pool registers a cache<->DRAM translation entry.
+
+Pools are contiguous in both cache- and DRAM-address space (the paper's
+pool-based design). ``padding=False`` / ``compaction=False`` switches
+reproduce the paper's ablations (tākō-like and Livia-like layouts).
+"""
+
+
+def padded_size_of(object_size, line_size=64, max_object_lines=4):
+    """Leviathan's padded size for a payload of ``object_size`` bytes.
+
+    Sub-line objects pad to the next power of two (24 B -> 32 B); larger
+    objects pad to a power-of-two number of lines (80 B -> 128 B).
+    Raises ``ValueError`` beyond the hardware-supported maximum
+    (Sec. VI-C; the fallback module handles those).
+    """
+    if object_size <= 0:
+        raise ValueError(f"object size must be positive, got {object_size}")
+    padded = 1
+    while padded < object_size:
+        padded *= 2
+    if padded > line_size * max_object_lines:
+        raise ValueError(
+            f"object of {object_size} B pads to {padded} B, beyond the "
+            f"hardware maximum of {line_size * max_object_lines} B"
+        )
+    return padded
+
+
+class Pool:
+    """One contiguous slab of identically-sized objects."""
+
+    __slots__ = ("base", "capacity", "padded_size", "entry")
+
+    def __init__(self, base, capacity, padded_size, entry):
+        self.base = base
+        self.capacity = capacity
+        self.padded_size = padded_size
+        #: The pool's translation entry (None when compaction is off).
+        self.entry = entry
+
+    @property
+    def bound(self):
+        return self.base + self.capacity * self.padded_size
+
+    def addr_of(self, index):
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"object index {index} out of pool range")
+        return self.base + index * self.padded_size
+
+    def index_of(self, addr):
+        if not self.base <= addr < self.bound:
+            raise ValueError(f"address {addr:#x} outside pool")
+        return (addr - self.base) // self.padded_size
+
+
+class Allocator:
+    """``Allocator<T>``: allocate/deallocate actors of one type.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`~repro.core.runtime.Leviathan` runtime (provides the
+        address space and the mapping registry).
+    object_size:
+        Payload bytes per object (the actor's ``SIZE``).
+    capacity:
+        Objects per pool slab; further slabs are allocated on demand.
+    padding:
+        When False, objects are laid out densely at their natural size
+        and may straddle cache lines (the prior-work layout the paper's
+        ablations use); no translation entry is registered, so DRAM
+        layout equals cache layout.
+    compaction:
+        When False (but padding on), objects are padded in DRAM too --
+        the "25% memory fragmentation" layout the paper charges to prior
+        work in Sec. VIII-B.
+    llc_mapping:
+        When False (but padding on), the pool registers no bank-shift
+        mapping, so multi-line objects spread across LLC banks -- the
+        "without LLC object mapping" ablation of Fig. 18.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        object_size,
+        capacity=4096,
+        padding=True,
+        compaction=True,
+        llc_mapping=True,
+        actor_cls=None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.runtime = runtime
+        self.object_size = object_size
+        self.capacity = capacity
+        self.padding = padding
+        self.compaction = compaction and padding and llc_mapping
+        self.llc_mapping = llc_mapping and padding
+        self.actor_cls = actor_cls
+        cfg = runtime.machine.config
+        if padding:
+            self.padded_size = padded_size_of(
+                object_size, cfg.line_size, cfg.leviathan.max_object_lines
+            )
+        else:
+            # Truly dense: objects at their natural size, straddling
+            # cache-line boundaries wherever they fall.
+            self.padded_size = object_size
+        self.pools = []
+        self._free = []
+        self._next_index = 0  # within the newest pool
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+    def _grow(self):
+        from repro.core.mapping import TranslationEntry
+
+        machine = self.runtime.machine
+        size = self.capacity * self.padded_size
+        base = machine.address_space.alloc(size, align=max(self.padded_size, 64))
+        entry = None
+        if self.compaction:
+            dram_base = machine.address_space.alloc_dram(
+                self.capacity * self.object_size, align=64
+            )
+            entry = TranslationEntry(
+                cache_base=base,
+                cache_bound=base + size,
+                dram_base=dram_base,
+                object_size=self.object_size,
+                padded_size=self.padded_size,
+                line_size=machine.config.line_size,
+            )
+            self.runtime.mapping.register(entry)
+            machine.stats.add("allocator.translation_entries")
+        elif self.llc_mapping:
+            # Padded in DRAM too: register only the bank-shift mapping
+            # (identity translation) so large objects still map to one
+            # bank; DRAM fragmentation is the cost.
+            entry = TranslationEntry(
+                cache_base=base,
+                cache_bound=base + size,
+                dram_base=base,
+                object_size=self.padded_size,
+                padded_size=self.padded_size,
+                line_size=machine.config.line_size,
+            )
+            self.runtime.mapping.register(entry)
+        pool = Pool(base, self.capacity, self.padded_size, entry)
+        self.pools.append(pool)
+        self._next_index = 0
+        machine.stats.add("allocator.pools")
+        return pool
+
+    # ------------------------------------------------------------------
+    # public interface (Fig. 7)
+    # ------------------------------------------------------------------
+    def allocate(self):
+        """Allocate one object; returns its address (or an actor instance
+        when the allocator was created with an ``actor_cls``)."""
+        if self._free:
+            addr = self._free.pop()
+        else:
+            if not self.pools or self._next_index >= self.pools[-1].capacity:
+                self._grow()
+            pool = self.pools[-1]
+            addr = pool.addr_of(self._next_index)
+            self._next_index += 1
+        self.runtime.machine.stats.add("allocator.allocations")
+        if self.actor_cls is None:
+            return addr
+        actor = self.actor_cls()
+        actor.addr = addr
+        actor.allocator = self
+        return actor
+
+    def deallocate(self, obj):
+        """Return an object (address or actor) to the allocator."""
+        addr = obj if isinstance(obj, int) else obj.addr
+        if addr is None:
+            raise ValueError("object was never allocated")
+        self._free.append(addr)
+        self.runtime.machine.stats.add("allocator.deallocations")
+
+    def allocate_array(self, count):
+        """Allocate ``count`` objects contiguously; returns their addresses.
+
+        Convenience for array-structured workloads (pixel arrays, vertex
+        arrays); grows pools as needed but keeps each slab contiguous.
+        """
+        addrs = []
+        for _ in range(count):
+            addrs.append(self.allocate() if self.actor_cls is None else self.allocate().addr)
+        return addrs
+
+    # ------------------------------------------------------------------
+    # memory-footprint accounting (used by the fragmentation analysis)
+    # ------------------------------------------------------------------
+    def dram_bytes_per_object(self):
+        """Bytes each object occupies in DRAM under this configuration."""
+        return self.object_size if self.compaction else self.padded_size
+
+    def fragmentation(self):
+        """Fraction of DRAM wasted by padding (0.0 when compaction is on)."""
+        per_obj = self.dram_bytes_per_object()
+        return 1.0 - self.object_size / per_obj
+
+    def __repr__(self):
+        return (
+            f"Allocator(size={self.object_size}B, padded={self.padded_size}B, "
+            f"pools={len(self.pools)}, padding={self.padding}, "
+            f"compaction={self.compaction})"
+        )

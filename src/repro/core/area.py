@@ -1,0 +1,80 @@
+"""Hardware-overhead model (Table IV, Sec. VI-D).
+
+Reproduces the paper's per-LLC-bank storage accounting: Leviathan adds
+~32.8 KB of state per 512 KB LLC bank, a 6.4% overhead. The model is
+parameterized so the Sec. VI-C note (larger supported objects need
+larger buffers and metadata) can be explored.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AreaModel:
+    """Per-LLC-bank storage overhead of Leviathan."""
+
+    llc_bank_kb: int = 512
+    line_size: int = 64
+    #: Extra LLC tag bits: 1 destructor bit + 2 object-size bits.
+    tag_bits_per_line: int = 3
+    translation_buffer_entries: int = 8
+    translation_entry_bytes: int = 25
+    engine_l1d_kb: int = 8
+    engine_tlb_kb: int = 2
+    engine_rtlb_kb: int = 2
+    data_triggered_objects: int = 16
+    max_object_bytes: int = 256
+    #: Dataflow fabric state, from tākō [66].
+    dataflow_fabric_kb: float = 13.6
+
+    @property
+    def llc_lines(self):
+        return (self.llc_bank_kb * 1024) // self.line_size
+
+    def tag_overhead_bytes(self):
+        return (self.llc_lines * self.tag_bits_per_line) // 8
+
+    def translation_buffer_bytes(self):
+        return self.translation_buffer_entries * self.translation_entry_bytes
+
+    def engine_caches_bytes(self):
+        return (self.engine_l1d_kb + self.engine_tlb_kb + self.engine_rtlb_kb) * 1024
+
+    def data_triggered_buffer_bytes(self):
+        return self.data_triggered_objects * self.max_object_bytes
+
+    def dataflow_fabric_bytes(self):
+        return int(self.dataflow_fabric_kb * 1024)
+
+    def total_bytes(self):
+        return (
+            self.tag_overhead_bytes()
+            + self.translation_buffer_bytes()
+            + self.engine_caches_bytes()
+            + self.data_triggered_buffer_bytes()
+            + self.dataflow_fabric_bytes()
+        )
+
+    def overhead_fraction(self):
+        """Overhead vs. the LLC bank's data array (the paper's ~6.4%)."""
+        return self.total_bytes() / (self.llc_bank_kb * 1024)
+
+    def breakdown(self):
+        """Table IV, as ``{row_label: bytes}``."""
+        return {
+            "LLC tags": self.tag_overhead_bytes(),
+            "LLC translation buffer": self.translation_buffer_bytes(),
+            "Engine L1d, TLB, rTLB": self.engine_caches_bytes(),
+            "Data-triggered buffer": self.data_triggered_buffer_bytes(),
+            "Dataflow fabric": self.dataflow_fabric_bytes(),
+        }
+
+    def report(self):
+        lines = []
+        for label, nbytes in self.breakdown().items():
+            lines.append(f"{label:28s} {nbytes / 1024:8.1f} KB")
+        lines.append(
+            f"{'Total per LLC bank':28s} {self.total_bytes() / 1024:8.1f} KB "
+            f"/ {self.llc_bank_kb} KB = {self.overhead_fraction() * 100:.1f}%"
+        )
+        return "\n".join(lines)

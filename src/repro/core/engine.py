@@ -1,0 +1,150 @@
+"""Near-cache engines (Sec. VI-A1).
+
+One engine per tile, co-located with the tile's L2 and LLC bank (the
+paper models engines at both; a single engine per tile serves both
+roles here, as the timing difference is intra-tile). The engine is a
+dataflow fabric executing application actions:
+
+- **compute timing**: single-issue, ``pe_latency`` per instruction
+  (0-latency and energy-free in the *ideal* configuration);
+- **task contexts**: a finite task-context buffer, split evenly between
+  offloaded and data-triggered actions to prevent deadlock;
+- **backpressure**: offloads arriving at a full engine are NACKed back
+  to the invoking core (counted; the spill traffic is accounted) and
+  queue for the next free context.
+
+Engines access memory through their own small coherent L1d (modeled in
+the hierarchy as a per-tile ``engine_l1``) and share the tile's L2.
+"""
+
+from collections import OrderedDict
+
+from repro.sim.ops import Condition
+
+#: Payload bytes of a NACK/spill control message.
+NACK_BYTES = 8
+
+#: Cycles to refill an rTLB entry (page-table walk assist).
+RTLB_MISS_PENALTY = 20
+
+
+class Engine:
+    """One tile's near-data engine."""
+
+    def __init__(self, runtime, tile):
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.tile = tile
+        cfg = self.machine.config.engine
+        self.config = cfg
+        #: Offload task contexts in use (data-triggered actions run
+        #: inline at cache fills and use the other half of the buffer).
+        self.busy_offload = 0
+        self._queue = []
+        self.context_freed = Condition(f"engine{tile}.context")
+        #: Reverse TLB (Sec. VI-A1): translates cached physical lines
+        #: back to virtual addresses before data-triggered actions run.
+        #: LRU over pages; misses pay a refill penalty.
+        self._rtlb = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # rTLB
+    # ------------------------------------------------------------------
+    def rtlb_lookup(self, page):
+        """Translate a physical page for a data-triggered action.
+
+        Returns the added latency (0 on a hit, the refill penalty on a
+        miss). The rTLB holds ``rtlb_entries`` pages, LRU-replaced.
+        """
+        self.machine.stats.add("engine.rtlb_lookups")
+        if page in self._rtlb:
+            self._rtlb.move_to_end(page)
+            return 0
+        self.machine.stats.add("engine.rtlb_misses")
+        self._rtlb[page] = True
+        while len(self._rtlb) > self.config.rtlb_entries:
+            self._rtlb.popitem(last=False)
+        return 0 if self.config.ideal else RTLB_MISS_PENALTY
+
+    @property
+    def offload_capacity(self):
+        if self.config.ideal:
+            return float("inf")
+        return self.config.offload_contexts
+
+    @property
+    def has_free_context(self):
+        return self.busy_offload < self.offload_capacity
+
+    # ------------------------------------------------------------------
+    # task submission
+    # ------------------------------------------------------------------
+    def submit(self, program, at_time, name, on_accept=None, on_complete=None, near_memory=False):
+        """Submit an offloaded task arriving at ``at_time``.
+
+        If a task context is free the task is accepted immediately;
+        otherwise the engine NACKs (accounted as spill traffic back to
+        the invoker) and the task waits for the next free context.
+        Returns True when accepted without a NACK.
+        """
+        task = _PendingTask(program, name, on_accept, on_complete, near_memory)
+        if self.has_free_context:
+            self._accept(task, at_time)
+            return True
+        self.machine.stats.add("engine.nacks")
+        self._queue.append(task)
+        return False
+
+    def _accept(self, task, at_time):
+        self.busy_offload += 1
+        self.machine.stats.add("engine.tasks")
+        if task.on_accept is not None:
+            task.on_accept(at_time)
+        ctx = self.machine.spawn(
+            self._run(task),
+            tile=self.tile,
+            name=task.name,
+            is_engine=True,
+            engine=self,
+            at_time=at_time,
+        )
+        ctx.near_memory = task.near_memory
+        return ctx
+
+    def _run(self, task):
+        """Wrapper adding completion handling around the action program."""
+        result = yield from task.program
+        self._release()
+        if task.on_complete is not None:
+            task.on_complete(result)
+        return result
+
+    def _release(self):
+        self.busy_offload -= 1
+        if self._queue:
+            task = self._queue.pop(0)
+            # The queued task starts when the context frees (now).
+            self._accept(task, self.machine.now)
+        else:
+            self.machine.wake_all(self.context_freed)
+
+    @property
+    def queued_tasks(self):
+        return len(self._queue)
+
+    def __repr__(self):
+        return (
+            f"Engine(tile{self.tile}, busy={self.busy_offload}/"
+            f"{self.offload_capacity}, queued={self.queued_tasks})"
+        )
+
+
+class _PendingTask:
+    __slots__ = ("program", "name", "on_accept", "on_complete", "near_memory")
+
+    def __init__(self, program, name, on_accept, on_complete, near_memory=False):
+        self.program = program
+        self.name = name
+        self.on_accept = on_accept
+        self.on_complete = on_complete
+        self.near_memory = near_memory

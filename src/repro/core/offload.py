@@ -1,0 +1,237 @@
+"""Task offload and long-lived workloads (Sec. V-B1, VI-B1).
+
+``invoke`` is the single interface for both paradigms: a core (or
+another action) explicitly triggers an action near an actor. The
+important microarchitecture reproduced here:
+
+- **Placement.** LOCAL runs on the invoker's tile engine; REMOTE on the
+  engine at the actor's LLC bank; DYNAMIC probes the hierarchy -- if the
+  actor is in the invoker's L1 the action runs right at the core, if in
+  the local L2 on the local engine, otherwise at the LLC bank (and, with
+  the EXCLUSIVE hint, at whichever remote L2 owns the line).
+- **Migration.** One in ``migration_period`` DYNAMIC tasks that would
+  run remotely runs locally instead, pulling hot actors up the
+  hierarchy.
+- **Backpressure.** Invokes without futures occupy an entry in the
+  per-core invoke buffer until an engine accepts the task; engines with
+  no free task context NACK, spilling the task back (extra NoC traffic)
+  until a context frees. Cores stall when the invoke buffer is full --
+  the queueing effect Fig. 22 sweeps.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.engine import NACK_BYTES
+from repro.core.future import Future
+from repro.sim.ops import Condition, Op, Park
+
+#: Base packet bytes for an invoke: actor pointer + function pointer + flags.
+INVOKE_HEADER_BYTES = 17
+
+
+class Location(enum.Enum):
+    """Where an offloaded task executes (Sec. V-B1)."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    DYNAMIC = "dynamic"
+
+
+class InvokeBuffer:
+    """Per-core buffer of in-flight (un-ACKed) invokes.
+
+    Entries drain at their *simulated* ACK time (the engine's
+    acceptance), not when the acceptance is computed -- a core issuing
+    faster than the NoC/engines can ACK fills the buffer and stalls,
+    which is the queueing effect Fig. 22 sweeps.
+    """
+
+    def __init__(self, machine, tile, entries):
+        self.machine = machine
+        self.tile = tile
+        self.entries = entries
+        #: One ACK timestamp per in-flight invoke (None until accepted).
+        self._acks = []
+        self.slot_freed = Condition(f"invoke_buffer{tile}")
+
+    def _prune(self, now):
+        self._acks = [s for s in self._acks if s[0] is None or s[0] > now]
+
+    def full(self, now):
+        self._prune(now)
+        return len(self._acks) >= self.entries
+
+    @property
+    def in_flight(self):
+        return len(self._acks)
+
+    def acquire(self, now):
+        """Reserve a slot; returns a handle for :meth:`release`."""
+        self._prune(now)
+        slot = [None]
+        self._acks.append(slot)
+        self.machine.stats.add("invoke.buffered")
+        return slot
+
+    def earliest_ack(self, now):
+        """The soonest known ACK time after ``now`` (None if all pending)."""
+        times = [s[0] for s in self._acks if s[0] is not None and s[0] > now]
+        return min(times) if times else None
+
+    def release(self, slot, at_time):
+        """Record the slot's ACK time and wake any stalled invokes."""
+        slot[0] = at_time
+        self.machine.wake_all(self.slot_freed, at_time=at_time)
+
+
+@dataclass
+class Invoke(Op):
+    """Offload ``action`` to execute near ``actor``.
+
+    Parameters mirror Fig. 9: ``location`` (default DYNAMIC) and the
+    EXCLUSIVE write hint. ``with_future=True`` allocates a Future that
+    is filled with the action's return value (a non-None return fills
+    the attached future; chained continuation-passing invokes pass the
+    caller's ``future`` along and return None themselves).
+
+    ``tile`` pins execution to a specific tile (used by long-lived
+    workloads that request a location low in the hierarchy).
+    """
+
+    actor: object
+    action: str
+    args: tuple = ()
+    location: Location = Location.DYNAMIC
+    exclusive: bool = False
+    with_future: bool = False
+    future: Future = None
+    tile: int = None
+    args_bytes: int = 8
+    result: object = field(default=None, compare=False)
+
+    def execute(self, machine, ctx):
+        runtime = machine.leviathan
+        if runtime is None:
+            raise RuntimeError("invoke requires a Leviathan runtime on the machine")
+        machine.stats.add("invoke.issued")
+
+        future = self.future
+        if self.with_future:
+            if future is not None:
+                raise ValueError("with_future=True conflicts with an explicit future")
+            future = Future(machine, ctx.tile)
+        self.result = future
+
+        target, inline_at_core, near_memory = self._place(machine, runtime, ctx)
+
+        # The action generator; actions receive the runtime as ``env``.
+        program = self.actor.action_fn(self.action)(runtime, *self.args)
+
+        if inline_at_core:
+            # DYNAMIC with the actor in the invoker's L1: run right here.
+            machine.stats.add("invoke.inline_at_core")
+            latency, value = machine.run_inline(
+                program, ctx.tile, is_engine=ctx.is_engine, name=f"{self.action}@core"
+            )
+            if future is not None and value is not None:
+                future.fill(value, from_tile=ctx.tile)
+            return latency
+
+        buffer = None
+        slot = None
+        stall = 0.0
+        if future is None and not ctx.is_engine and not ctx.inline:
+            buffer = runtime.invoke_buffers[ctx.tile]
+            if buffer.full(ctx.time):
+                machine.stats.add("invoke.stalls")
+                ack = buffer.earliest_ack(ctx.time)
+                if ack is None:
+                    # Every slot is waiting on a NACKed engine: the
+                    # release (and its wake) arrives later in simulated
+                    # time, so park until it does.
+                    raise Park(buffer.slot_freed, retry=True)
+                # The next ACK time is known: stall the core until then.
+                stall = ack - ctx.time
+            slot = buffer.acquire(ctx.time + stall)
+
+        packet_bytes = INVOKE_HEADER_BYTES + self.args_bytes
+        transit = machine.hierarchy.noc.send(ctx.tile, target, packet_bytes)
+        arrival = ctx.time + stall + 1 + transit
+
+        engine = runtime.engines[target]
+
+        def on_accept(at_time, _buffer=buffer, _slot=slot):
+            if _buffer is not None:
+                _buffer.release(_slot, at_time)
+
+        def on_complete(value, _future=future, _engine=engine):
+            if _future is not None and value is not None:
+                _future.fill(value, from_tile=_engine.tile)
+
+        accepted = engine.submit(
+            program,
+            arrival,
+            name=f"{self.action}@tile{target}",
+            on_accept=on_accept,
+            on_complete=on_complete,
+            near_memory=near_memory,
+        )
+        if not accepted:
+            # Spill traffic: the NACK back to the core and the re-send.
+            machine.hierarchy.noc.send(target, ctx.tile, NACK_BYTES)
+            machine.hierarchy.noc.send(ctx.tile, target, packet_bytes)
+        return stall + 1
+
+    # ------------------------------------------------------------------
+    def _place(self, machine, runtime, ctx):
+        """Choose the executing tile.
+
+        Returns ``(tile, inline_at_core, near_memory)``.
+        """
+        hierarchy = machine.hierarchy
+        line = hierarchy.line_of(self.actor.addr)
+
+        if self.tile is not None:
+            return self.tile, False, False
+        if self.location is Location.LOCAL:
+            return ctx.tile, False, False
+        if self.location is Location.REMOTE:
+            return hierarchy.bank_of(line), False, False
+
+        # DYNAMIC: probe down the hierarchy (Sec. VI-B1).
+        if hierarchy.l1[ctx.tile].contains(line) or (
+            ctx.is_engine and hierarchy.engine_l1[ctx.tile].contains(line)
+        ):
+            return ctx.tile, True, False
+        if hierarchy.l2[ctx.tile].contains(line) or hierarchy.engine_l1[
+            ctx.tile
+        ].contains(line):
+            # Cached on this tile (core L2 or the engine's L1d, e.g.
+            # after a migration pulled the actor up): local engine.
+            machine.stats.add("invoke.local_engine")
+            return ctx.tile, False, False
+        target = hierarchy.bank_of(line)
+        near_memory = False
+        if self.exclusive:
+            owner = hierarchy.owner_of(line)
+            if owner is not None:
+                target = owner
+        elif (
+            machine.config.leviathan.near_memory_engines
+            and not hierarchy.llc_has(line)
+        ):
+            # Near-memory extension (Sec. IX): the actor is not cached
+            # anywhere, so run at the engine beside its memory
+            # controller and read DRAM over zero NoC distance.
+            dram_line = hierarchy.hooks.translate(line)[0]
+            target = hierarchy.mem.controller_tile(dram_line)
+            near_memory = True
+            machine.stats.add("invoke.near_memory")
+        if target != ctx.tile:
+            runtime.migration_ticks += 1
+            if runtime.migration_ticks % machine.config.leviathan.migration_period == 0:
+                machine.stats.add("invoke.migrations")
+                return ctx.tile, False, False
+            machine.stats.add("invoke.remote")
+        return target, False, near_memory

@@ -1,0 +1,82 @@
+"""A tākō-style line-granularity interface, for comparison (Sec. V-B2).
+
+tākō [66] exposes data-triggered actions at *cache-line* granularity
+(``onMiss`` / ``onEviction`` / ``onWriteback`` over lines), leaving
+layout, alignment, and padding to the programmer. The paper's argument
+for Leviathan's object-granularity Morphs is exactly that this burden
+disappears: "code can be much simpler because actions execute on
+objects, not cache lines".
+
+:class:`LineMorph` reproduces the tākō contract on top of the same
+hardware hooks, so the two programming models can be compared on one
+substrate:
+
+- handlers receive a *line address*, not an object index;
+- nothing pads or aligns data -- if objects straddle lines, the handler
+  sees partial objects (the Fig. 16 failure mode);
+- there is no DRAM compaction and no LLC object mapping.
+"""
+
+from repro.core.morph import Morph
+
+
+class LineMorph(Morph):
+    """Data-triggered actions over raw cache lines (the tākō model).
+
+    Subclasses override :meth:`on_miss` and :meth:`on_eviction`, each a
+    generator receiving the *line base address*. The registered range
+    covers ``n_lines`` whole cache lines; how application objects map
+    onto them is entirely the subclass's problem.
+    """
+
+    def __init__(self, runtime, level, n_lines, name=None):
+        line_size = runtime.machine.config.line_size
+        # One "actor" per line: the object IS the cache line.
+        super().__init__(
+            runtime,
+            level=level,
+            n_actors=n_lines,
+            object_size=line_size,
+            name=name or type(self).__name__,
+        )
+
+    # ------------------------------------------------------------------
+    # the tākō-style interface
+    # ------------------------------------------------------------------
+    def line_addr(self, line_index):
+        """Base address of registered line ``line_index``."""
+        return self.get_actor_addr(line_index)
+
+    def line_index(self, addr):
+        """Registered line index containing ``addr``."""
+        return self.index_of(addr)
+
+    def on_miss(self, view, line_addr):
+        """Line fill handler (override; generator)."""
+        return
+        yield  # pragma: no cover
+
+    def on_eviction(self, view, line_addr, dirty):
+        """Line eviction handler (override; generator).
+
+        tākō distinguishes ``onEviction`` (clean) from ``onWriteback``
+        (dirty); override :meth:`on_writeback` to split them.
+        """
+        return
+        yield  # pragma: no cover
+
+    def on_writeback(self, view, line_addr):
+        """Dirty-line eviction handler; defaults to :meth:`on_eviction`."""
+        return self.on_eviction(view, line_addr, True)
+
+    # ------------------------------------------------------------------
+    # adaptation onto the object-granularity machinery
+    # ------------------------------------------------------------------
+    def construct(self, view, index):
+        yield from self.on_miss(view, self.line_addr(index))
+
+    def destruct(self, view, index, dirty):
+        if dirty:
+            yield from self.on_writeback(view, self.line_addr(index))
+        else:
+            yield from self.on_eviction(view, self.line_addr(index), False)

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+``leviathan-repro list`` shows every registered experiment;
+``leviathan-repro all`` regenerates every table and figure.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import registry
+from repro.experiments import ablations, figures, sensitivity, tables
+
+_EXPERIMENTS = {
+    "table1": (tables.run_table1, "Table I: NDC taxonomy"),
+    "table2": (tables.run_table2, "Table II: actions per paradigm"),
+    "table3": (tables.run_table3, "Table III: per-paradigm microarchitecture"),
+    "table4": (tables.run_table4, "Table IV: hardware overhead"),
+    "table5": (tables.run_table5, "Table V: system parameters"),
+    "fig5": (figures.run_fig5, "Fig. 5: PHI / commutative scatter-updates"),
+    "fig16": (figures.run_fig16, "Fig. 16: near-cache decompression"),
+    "fig18": (figures.run_fig18, "Fig. 18: hash-table lookups"),
+    "fig20": (figures.run_fig20, "Fig. 20: HATS decoupled traversal"),
+    "fig21": (figures.run_fig21, "Fig. 21: HATS breakdown"),
+    "fig22": (sensitivity.run_fig22, "Fig. 22: invoke-buffer sensitivity"),
+    "fig23": (sensitivity.run_fig23, "Fig. 23: stream-buffer sensitivity"),
+    "fig24": (sensitivity.run_fig24, "Fig. 24: input-size sensitivity"),
+    "fig25": (sensitivity.run_fig25, "Fig. 25: system-size sensitivity"),
+    "ablation-mc-cache": (ablations.run_mc_cache, "MC FIFO-cache ablation"),
+    "ablation-migration": (ablations.run_migration, "DYNAMIC migration ablation"),
+    "ablation-compaction": (ablations.run_compaction, "DRAM compaction ablation"),
+    "ablation-near-memory": (
+        ablations.run_near_memory,
+        "near-memory engines extension (Sec. IX future work)",
+    ),
+    "ablation-components": (
+        ablations.run_components,
+        "PHI generality: connected components with min-combining",
+    ),
+}
+
+for _name, (_runner, _desc) in _EXPERIMENTS.items():
+    registry.register(_name, _runner, _desc)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="leviathan-repro",
+        description="Regenerate the tables and figures of the Leviathan paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="list",
+        help="experiment name, 'all', or 'list' (default)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="print results without asserting the paper-shape expectations",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also write the reports as a markdown document",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in registry.names():
+            print(f"{name:22s} {registry.describe()[name]}")
+        return 0
+
+    from repro.experiments.plotting import speedup_chart
+
+    names = registry.names() if args.experiment == "all" else [args.experiment]
+    failed = []
+    markdown_sections = []
+    for name in names:
+        started = time.time()
+        experiment = registry.run(name)
+        elapsed = time.time() - started
+        print(experiment.report())
+        if any("speedup" in row for row in experiment.rows):
+            print()
+            print(speedup_chart(experiment))
+        print(f"({elapsed:.1f}s)\n")
+        if args.markdown:
+            markdown_sections.append(_markdown_section(name, experiment, elapsed))
+        if not args.no_check and not experiment.passed:
+            failed.append(name)
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write("# Reproduced tables and figures\n\n")
+            handle.write("\n".join(markdown_sections))
+        print(f"wrote {args.markdown}")
+    if failed:
+        print(f"FAILED shape checks: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _markdown_section(name, experiment, elapsed):
+    lines = [f"## {experiment.name} ({experiment.paper_reference})", ""]
+    if experiment.notes:
+        lines.append(experiment.notes)
+        lines.append("")
+    if experiment.rows:
+        columns = []
+        for row in experiment.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "---|" * len(columns))
+        for row in experiment.rows:
+            lines.append(
+                "| "
+                + " | ".join(_fmt_md(row.get(c, "")) for c in columns)
+                + " |"
+            )
+        lines.append("")
+    for expectation in experiment.expectations:
+        lines.append(f"- {expectation}")
+    lines.append("")
+    lines.append(f"_Regenerate with `leviathan-repro {name}` ({elapsed:.1f}s)._")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt_md(value):
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Figures 5, 16, 18, 20, 21: the case-study results.
+
+Each ``run_figN`` executes the corresponding case study at reproduction
+scale and checks the paper's qualitative claims. Absolute factors are
+checked against generous bands around the paper's numbers (the
+substrate is a coarse simulator, not the authors' testbed); orderings
+are checked strictly.
+"""
+
+from repro.experiments.runner import Experiment
+from repro.workloads import decompress, hashtable, hats, phi
+
+#: Memoized default-parameter HATS study (Figs. 20 and 21 share it).
+_hats_default_study = None
+
+
+def _hats_study(params):
+    global _hats_default_study
+    if params is None:
+        if _hats_default_study is None:
+            _hats_default_study = hats.run_all()
+        return _hats_default_study
+    return hats.run_all(params=params)
+
+
+def _study_rows(exp, study):
+    speedups = study.speedups()
+    savings = study.energy_savings()
+    for name, result in study.results.items():
+        exp.add_row(
+            variant=name,
+            speedup=speedups[name],
+            energy_savings_pct=savings[name] * 100,
+            cycles=result.cycles if result.functional else float("nan"),
+            functional="yes" if result.functional else "NO (" + result.notes[:40] + ")",
+        )
+    return speedups, savings
+
+
+def run_fig5(params=None):
+    study = phi.run_all(params=params)
+    exp = Experiment(
+        name="PHI / commutative scatter-updates",
+        paper_reference="Fig. 5",
+        notes=(
+            "Paper: tako Fence 1.4x, tako Relax 3.1x, Leviathan 3.7x "
+            "(within 1.3% of ideal); energy -12% (tako), -22% (Leviathan)."
+        ),
+    )
+    speedups, savings = _study_rows(exp, study)
+    exp.expect(
+        "ordering base < fence < relax < leviathan",
+        "ordering",
+        [
+            speedups["baseline"],
+            speedups["tako_fence"],
+            speedups["tako_relax"],
+            speedups["leviathan"],
+        ],
+    )
+    exp.expect("Leviathan speedup ~3.7x", "between", speedups["leviathan"], 2.5, 5.0)
+    exp.expect("tako Relax ~3.1x", "between", speedups["tako_relax"], 1.8, 4.0)
+    exp.expect("tako Fence ~1.4x", "between", speedups["tako_fence"], 1.05, 2.0)
+    if "ideal" in study.results:
+        gap = abs(speedups["ideal"] - speedups["leviathan"]) / speedups["leviathan"]
+        exp.expect("Leviathan close to ideal", "less", gap, 0.08)
+    exp.expect("Leviathan saves energy", "greater", savings["leviathan"], 0.10)
+    exp.expect(
+        "Leviathan saves more energy than tako",
+        "greater",
+        savings["leviathan"] - savings["tako_fence"],
+        0.0,
+    )
+    return exp
+
+
+def run_fig16(params=None):
+    study = decompress.run_all(params=params)
+    exp = Experiment(
+        name="Near-cache data transformation (decompression)",
+        paper_reference="Fig. 16",
+        notes=(
+            "Paper: Leviathan 2.4x / -65% energy; offload (OL) is worse "
+            "than the baseline; no-padding does not work at all."
+        ),
+    )
+    speedups, savings = _study_rows(exp, study)
+    exp.expect("Leviathan speedup ~2.4x", "between", speedups["leviathan"], 1.5, 3.5)
+    exp.expect("offload is worse than baseline", "less", speedups["offload"], 1.0)
+    exp.expect(
+        "no-padding does not work",
+        "between",
+        int(study["no_padding"].functional),
+        0,
+        0,
+    )
+    exp.expect("Leviathan energy ~-65%", "between", savings["leviathan"], 0.4, 0.9)
+    if "ideal" in study.results:
+        gap = abs(speedups["ideal"] - speedups["leviathan"]) / speedups["leviathan"]
+        exp.expect("Leviathan close to ideal", "less", gap, 0.15)
+    return exp
+
+
+def run_fig18(params=None, sizes=(24, 64, 128)):
+    studies = hashtable.run_size_study(params=params, sizes=sizes)
+    exp = Experiment(
+        name="Hash-table lookups across object sizes",
+        paper_reference="Fig. 18",
+        notes=(
+            "Paper: up to 2.0x and -77% energy across 24/64/128 B objects; "
+            "no-padding drops 24 B to 1.5x; no-LLC-mapping drops 128 B to 0.91x."
+        ),
+    )
+    by_size = {}
+    for size, study in studies.items():
+        speedups = study.speedups()
+        savings = study.energy_savings()
+        by_size[size] = (speedups, savings, study)
+        for name in study.results:
+            exp.add_row(
+                object_size=size,
+                variant=name,
+                speedup=speedups[name],
+                energy_savings_pct=savings[name] * 100,
+            )
+    lev = [by_size[s][0]["leviathan"] for s in sizes]
+    exp.expect("Leviathan wins at every size", "greater", min(lev), 1.1)
+    exp.expect(
+        "performance is consistent across sizes (max/min < 1.5)",
+        "less",
+        max(lev) / min(lev),
+        1.5,
+    )
+    if 24 in by_size and "no_padding" in by_size[24][2]:
+        exp.expect(
+            "padding helps 24 B objects",
+            "greater",
+            by_size[24][0]["leviathan"] - by_size[24][0]["no_padding"],
+            0.0,
+        )
+    if 128 in by_size and "no_llc_mapping" in by_size[128][2]:
+        exp.expect(
+            "LLC mapping helps 128 B objects",
+            "greater",
+            by_size[128][0]["leviathan"] - by_size[128][0]["no_llc_mapping"],
+            0.0,
+        )
+        exp.expect(
+            "without mapping, close to or below baseline",
+            "less",
+            by_size[128][0]["no_llc_mapping"],
+            1.25,
+        )
+    exp.expect(
+        "Leviathan saves energy at every size",
+        "greater",
+        min(by_size[s][1]["leviathan"] for s in sizes),
+        0.15,
+    )
+    return exp
+
+
+def run_fig20(params=None):
+    study = _hats_study(params)
+    exp = Experiment(
+        name="Decoupled graph traversal (HATS)",
+        paper_reference="Fig. 20",
+        notes=(
+            "Paper: software BDFS 1.2x, tako 1.4x, Leviathan 1.7x "
+            "(nearly identical to ideal), energy -26%."
+        ),
+    )
+    speedups, savings = _study_rows(exp, study)
+    exp.expect(
+        "ordering base < tako < leviathan",
+        "ordering",
+        [speedups["baseline"], speedups["tako"], speedups["leviathan"]],
+    )
+    exp.expect("software BDFS helps", "greater", speedups["sw_bdfs"], 1.0)
+    exp.expect("Leviathan ~1.7x", "between", speedups["leviathan"], 1.4, 2.2)
+    exp.expect("tako ~1.4x", "between", speedups["tako"], 1.15, 1.8)
+    if "ideal" in study.results:
+        gap = abs(speedups["ideal"] - speedups["leviathan"]) / speedups["leviathan"]
+        exp.expect("Leviathan nearly identical to ideal", "less", gap, 0.05)
+    exp.expect("Leviathan saves energy", "greater", savings["leviathan"], 0.05)
+    return exp
+
+
+def run_fig21(params=None, study=None):
+    study = study or _hats_study(params)
+    exp = Experiment(
+        name="HATS performance breakdown",
+        paper_reference="Fig. 21",
+        notes=(
+            "Paper: BDFS versions cut edge-phase DRAM accesses ~40%; tako and "
+            "Leviathan eliminate branch mispredictions; tako needs more engine "
+            "instructions per edge than Leviathan (stack re-initialization)."
+        ),
+    )
+    edges = study.params.get("n_edges") or hats.DEFAULT_PARAMS["n_edges"]
+    for name, result in study.results.items():
+        exp.add_row(
+            variant=name,
+            dram_vertex_phase=result.stat("vertex/dram.accesses"),
+            dram_edge_phase=result.stat("edge/dram.accesses"),
+            mispredicts_per_edge=result.stat("core.branch_mispredictions") / edges,
+            engine_instr_per_edge=result.stat("edge/engine.instructions") / edges,
+        )
+    base = study["baseline"]
+    lev = study["leviathan"]
+    tako = study["tako"]
+    exp.expect(
+        "vertex-phase DRAM equal across versions",
+        "less",
+        abs(lev.stat("vertex/dram.accesses") - base.stat("vertex/dram.accesses"))
+        / max(1, base.stat("vertex/dram.accesses")),
+        0.1,
+    )
+    reduction = 1 - lev.stat("edge/dram.accesses") / base.stat("edge/dram.accesses")
+    exp.expect("BDFS cuts edge-phase DRAM (~40% in paper)", "between", reduction, 0.1, 0.6)
+    exp.expect(
+        "tako/Leviathan eliminate mispredictions",
+        "less",
+        lev.stat("core.branch_mispredictions") + tako.stat("core.branch_mispredictions"),
+        1,
+    )
+    exp.expect(
+        "tako needs more engine instructions per edge",
+        "greater",
+        tako.stat("edge/engine.instructions") - lev.stat("edge/engine.instructions"),
+        0,
+    )
+    return exp

@@ -1,0 +1,91 @@
+"""ASCII rendering of reproduced figures.
+
+The paper's figures are bar charts and line plots; the CLI renders
+their reproduced counterparts as text so results are inspectable in a
+terminal and in CI logs without a plotting dependency.
+"""
+
+
+def bar_chart(items, width=46, unit="", baseline=None):
+    """Render ``[(label, value), ...]`` as horizontal bars.
+
+    ``baseline`` draws a reference marker at that value (e.g. 1.0 for
+    speedup charts).
+    """
+    if not items:
+        return "(empty chart)"
+    label_width = max(len(str(label)) for label, _ in items)
+    numeric = [value for _, value in items if _is_finite(value)]
+    top = max(numeric) if numeric else 1.0
+    top = max(top, baseline or 0.0) or 1.0
+    lines = []
+    for label, value in items:
+        if not _is_finite(value):
+            lines.append(f"{str(label):<{label_width}}  (n/a)")
+            continue
+        filled = int(round(width * value / top))
+        bar = "#" * max(filled, 0)
+        if baseline is not None and 0 < baseline <= top:
+            marker = int(round(width * baseline / top))
+            if marker >= len(bar):
+                bar = bar + " " * (marker - len(bar)) + "|"
+            else:
+                bar = bar[:marker] + "|" + bar[marker + 1 :]
+        lines.append(f"{str(label):<{label_width}}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(points, width=50, height=10, x_label="", y_label=""):
+    """Render ``[(x, y), ...]`` as a small ASCII scatter/line plot."""
+    if len(points) < 2:
+        return "(need at least two points)"
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * y_span / (height - 1)
+        lines.append(f"{y_val:10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.4g}" + " " * max(1, width - 12) + f"{x_hi:.4g}"
+    )
+    if x_label or y_label:
+        lines.append(f"            x: {x_label}   y: {y_label}")
+    return "\n".join(lines)
+
+
+def speedup_chart(experiment, label_key="variant", value_key="speedup"):
+    """A bar chart of an experiment's speedup rows (baseline marker at 1).
+
+    Rows without a ``variant`` column label with their first field
+    (sweep experiments label by their swept parameter).
+    """
+    items = []
+    for row in experiment.rows:
+        if value_key not in row:
+            continue
+        if label_key in row:
+            label = row[label_key]
+        else:
+            label = next(
+                (f"{k}={v}" for k, v in row.items() if k != value_key), "?"
+            )
+        items.append((label, row.get(value_key)))
+    return bar_chart(items, unit="x", baseline=1.0)
+
+
+def _is_finite(value):
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return False
+    return v == v and v not in (float("inf"), float("-inf"))

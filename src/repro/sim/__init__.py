@@ -1,0 +1,34 @@
+"""Substrate: a coarse-grained, event-driven simulator of a tiled multicore.
+
+The simulator models the machine in Table V of the paper: 16 out-of-order
+cores on a mesh, private L1/L2 caches, a shared, banked, inclusive LLC with
+directory coherence, four memory controllers with small FIFO caches, and a
+near-data engine per tile.
+
+Threads (and near-data actions) are Python generators that yield typed
+operations (:mod:`repro.sim.ops`); the global scheduler
+(:mod:`repro.sim.scheduler`) interleaves them in timestamp order and charges
+latency and energy for every event.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import Machine
+from repro.sim.ops import (
+    Load,
+    Store,
+    Compute,
+    AtomicRMW,
+    Fence,
+    Branch,
+)
+
+__all__ = [
+    "SystemConfig",
+    "Machine",
+    "Load",
+    "Store",
+    "Compute",
+    "AtomicRMW",
+    "Fence",
+    "Branch",
+]

@@ -1,0 +1,100 @@
+"""Addresses, address spaces, and ranges.
+
+The simulator uses plain integer (virtual = physical) addresses. The
+workloads never store real bytes at these addresses -- data values live in
+ordinary Python objects -- but every address participates fully in the
+timing model: cache lookups, bank mapping, coherence, DRAM-line
+accounting, and Leviathan's cache<->DRAM translation all operate on them.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def contains(self, addr):
+        return self.base <= addr < self.end
+
+    def overlaps(self, other):
+        return self.base < other.end and other.base < self.end
+
+    def offset_of(self, addr):
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} outside region {self}")
+        return addr - self.base
+
+    def __repr__(self):
+        return f"Region({self.base:#x}..{self.end:#x}, {self.size}B)"
+
+
+class AddressSpace:
+    """A bump allocator over a flat address space.
+
+    The Leviathan allocator (Sec. V-A3) is pool-based and requires
+    contiguous ranges in both cache-address and DRAM-address space; this
+    class provides both (DRAM addresses are allocated from a disjoint
+    high range so translation is observable in tests).
+    """
+
+    CACHE_BASE = 0x0001_0000
+    DRAM_BASE = 0x4000_0000
+
+    def __init__(self, line_size=64):
+        self.line_size = line_size
+        self._next_cache = self.CACHE_BASE
+        self._next_dram = self.DRAM_BASE
+
+    def _bump(self, cursor, size, align):
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        base = (cursor + align - 1) & ~(align - 1)
+        return base, base + size
+
+    def alloc(self, size, align=8):
+        """Allocate ``size`` bytes of (cache-)address space."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        base, self._next_cache = self._bump(self._next_cache, size, align)
+        return base
+
+    def alloc_region(self, size, align=None):
+        """Allocate a line-aligned :class:`Region` of at least ``size`` bytes."""
+        align = align or self.line_size
+        return Region(self.alloc(size, align=align), size)
+
+    def alloc_dram(self, size, align=8):
+        """Allocate ``size`` bytes of backing-DRAM address space.
+
+        Used by the allocator's compaction support: objects padded in the
+        cache address space are packed densely in a separate DRAM range.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        base, self._next_dram = self._bump(self._next_dram, size, align)
+        return base
+
+    # ------------------------------------------------------------------
+    # line math
+    # ------------------------------------------------------------------
+    def line_of(self, addr):
+        """The line number containing ``addr``."""
+        return addr // self.line_size
+
+    def line_base(self, addr):
+        """The base address of the line containing ``addr``."""
+        return addr - (addr % self.line_size)
+
+    def lines_touched(self, addr, size):
+        """All line numbers touched by an access of ``size`` bytes at ``addr``."""
+        first = self.line_of(addr)
+        last = self.line_of(addr + max(size, 1) - 1)
+        return range(first, last + 1)

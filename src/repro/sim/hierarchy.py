@@ -1,0 +1,613 @@
+"""The memory hierarchy: L1s, L2s, banked inclusive LLC, DRAM.
+
+This module implements the access path every load/store takes, including
+directory coherence (upgrade, invalidation, ping-pong costs), the mesh
+NoC transfers between tiles, banks and memory controllers, the L2
+strided prefetcher, and -- crucially for Leviathan -- the *hook points*
+where the runtime interposes:
+
+- ``hooks.bank_shift(line)``: how many low line-index bits the LLC
+  bank-index function ignores (LLC object mapping, Sec. VI-A3);
+- ``hooks.translate(line)``: cache-line -> DRAM-line translation (DRAM
+  object compaction, Sec. VI-A3);
+- ``hooks.on_miss(level, tile, line)``: data-triggered constructors
+  (phantom fills, Sec. V-B2);
+- ``hooks.on_evict(level, tile, line, dirty)``: data-triggered
+  destructors;
+- ``hooks.allow_prefetch(level, tile, line)``: stream flow control for
+  hardware prefetches (Sec. VI-B3).
+
+The default hooks make the hierarchy a plain multicore -- the baseline
+every case study compares against.
+"""
+
+from repro.sim.cache import SetAssocCache
+from repro.sim.coherence import Directory
+from repro.sim.dram import MemorySystem
+from repro.sim.noc import MeshNoc
+from repro.sim.prefetch import StridePrefetcher
+
+#: Payload sizes (bytes) for NoC accounting.
+CTRL_BYTES = 8
+DATA_BYTES = 64
+
+#: Safety bound on hook recursion (constructor -> access -> constructor).
+MAX_HOOK_DEPTH = 8
+
+#: Sentinel: the prefetcher was NACKed by a morph (e.g. a stream tail).
+_PREFETCH_DENIED = object()
+
+
+class ConstructResult:
+    """Returned by ``hooks.on_miss`` when a morph handles a fill."""
+
+    __slots__ = ("latency", "lines", "dirty")
+
+    def __init__(self, latency, lines, dirty=False):
+        self.latency = latency
+        #: All cache lines of the constructed object (multi-line objects
+        #: are inserted or evicted as a unit, Sec. VI-B2).
+        self.lines = lines
+        self.dirty = dirty
+
+
+class HierarchyHooks:
+    """Default (baseline multicore) hook implementations."""
+
+    def bank_shift(self, line):
+        """Low line-index bits ignored by the LLC bank-index function."""
+        return 0
+
+    def translate(self, line):
+        """DRAM lines backing cache line ``line`` (identity by default)."""
+        return (line,)
+
+    def on_miss(self, level, tile, line):
+        """Return a :class:`ConstructResult` to handle the fill, or None."""
+        return None
+
+    def on_evict(self, level, tile, line, dirty):
+        """Return True if a destructor consumed the eviction."""
+        return False
+
+    def morph_level(self, line):
+        """The level ('l2'/'llc') at which ``line`` is morph-registered."""
+        return None
+
+    def allow_prefetch(self, level, tile, line):
+        """May the hardware prefetcher fill ``line`` at ``level``?"""
+        return True
+
+
+class Hierarchy:
+    """All caches plus the access path connecting them."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        cfg = machine.config
+        self.config = cfg
+        self.stats = machine.stats
+        self.line_size = cfg.line_size
+        self.noc = MeshNoc(cfg, self.stats)
+        self.mem = MemorySystem(cfg, self.stats, self.noc)
+        self.dir = Directory(self.stats)
+        self.hooks = HierarchyHooks()
+
+        def build(cache_cfg, name, tile, index_shift=0):
+            return SetAssocCache(
+                cache_cfg.sets(cfg.line_size),
+                cache_cfg.ways,
+                policy=cache_cfg.replacement,
+                name=f"{name}{tile}",
+                index_shift=index_shift,
+            )
+
+        n = cfg.n_tiles
+        bank_bits = (n - 1).bit_length()
+        self.l1 = [build(cfg.l1, "l1.", t) for t in range(n)]
+        self.l2 = [build(cfg.l2, "l2.", t) for t in range(n)]
+        # LLC banks index sets above the bank-select bits (which would
+        # otherwise alias onto one set per bank).
+        self.llc = [build(cfg.llc, "llc.", t, index_shift=bank_bits) for t in range(n)]
+        engine_l1_cfg = _engine_l1_config(cfg)
+        self.engine_l1 = [build(engine_l1_cfg, "el1.", t) for t in range(n)]
+        self.prefetchers = [StridePrefetcher(t, cfg.line_size) for t in range(n)]
+        self._hook_depth = 0
+        #: Pending data-triggered destructors (the paper's per-engine
+        #: "data-triggered buffer", Table IV): destructors execute off
+        #: the critical path after the access that evicted them, which
+        #: also breaks destructor->store->eviction->destructor recursion.
+        self._pending_destructors = []
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def line_of(self, addr):
+        return addr // self.line_size
+
+    def bank_of(self, line):
+        """LLC bank for ``line``, honoring Leviathan's LSB-ignore mapping."""
+        shift = self.hooks.bank_shift(line)
+        return (line >> shift) % self.config.n_tiles
+
+    # ------------------------------------------------------------------
+    # probes (no state change; used by DYNAMIC invoke placement)
+    # ------------------------------------------------------------------
+    def tile_has_private(self, tile, line):
+        return (
+            self.l1[tile].contains(line)
+            or self.l2[tile].contains(line)
+            or self.engine_l1[tile].contains(line)
+        )
+
+    def llc_has(self, line):
+        return self.llc[self.bank_of(line)].contains(line)
+
+    def owner_of(self, line):
+        return self.dir.owner_of(line)
+
+    # ------------------------------------------------------------------
+    # the access path
+    # ------------------------------------------------------------------
+    def access(self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False):
+        """Perform an access; returns its latency in cycles.
+
+        Multi-line accesses are overlapped: the latency is that of the
+        slowest line, but every line's events are accounted.
+
+        ``apply`` (a zero-argument callable) is the access's functional
+        side effect. It runs after the cache access but *before* queued
+        destructors drain, so a destructor for this very line (evicted
+        by the access's own fills) observes the applied value.
+        """
+        first = self.line_of(addr)
+        last = self.line_of(addr + max(size, 1) - 1)
+        latency = 0
+        for line in range(first, last + 1):
+            latency = max(
+                latency,
+                self._access_line(tile, line, is_write, engine, near_memory),
+            )
+        if apply is not None:
+            apply()
+        if self._hook_depth == 0:
+            self._drain_destructors()
+        return latency
+
+    def _access_line(self, tile, line, is_write, engine, near_memory=False):
+        if engine:
+            return self._engine_access_line(tile, line, is_write, near_memory)
+        self.stats.add("l1.accesses")
+        entry = self.l1[tile].lookup(line)
+        if entry is not None:
+            latency = self.config.l1.hit_latency
+            if is_write:
+                entry.dirty = True
+                latency += self._ensure_ownership(tile, line)
+            return latency
+
+        latency = self.config.l1.tag_latency
+
+        self.stats.add("l2.accesses")
+        l2 = self.l2[tile]
+        l2_entry = l2.lookup(line)
+        if l2_entry is not None:
+            latency += self.config.l2.hit_latency
+            if is_write:
+                latency += self._ensure_ownership(tile, line)
+            self._fill_private(tile, line, is_write, False, morph=l2_entry.morph)
+            return latency
+        latency += self.config.l2.tag_latency
+
+        # L2-level morph: phantom fill constructed by this tile's engine.
+        result = self._run_on_miss("l2", tile, line)
+        if result is not None:
+            latency += result.latency
+            for obj_line in result.lines:
+                self._insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
+            self._fill_private(tile, line, is_write, False, morph=True)
+            self.stats.add("morph.l2_constructions")
+            return latency
+
+        latency += self._llc_access(tile, line, is_write)
+        self._insert_l2(tile, line, dirty=False, morph=False)
+        self._fill_private(tile, line, is_write, False, morph=False)
+        self.dir.record_fill(line, tile, exclusive=is_write)
+        # Prefetches issue after the demand miss resolves (issuing them
+        # first could evict the demanded line between its directory and
+        # data lookups).
+        if self.config.l2_prefetcher:
+            self._train_prefetcher(tile, line)
+        return latency
+
+    def _engine_access_line(self, tile, line, is_write, near_memory=False):
+        """An engine-side access (Sec. VI-A1's clustered coherence).
+
+        The engine L1d and the tile's L2 snoop each other but are
+        separate caches: an engine miss snoops the L2 (without filling
+        it) and otherwise goes straight to the LLC, so engine traffic
+        does not displace the core's working set.
+
+        ``near_memory`` tasks (the Sec. IX extension) read uncached
+        lines directly from their memory controller, bypassing the LLC
+        entirely -- the engine sits at the controller, so the transfer
+        crosses no NoC links.
+        """
+        if self.hooks.morph_level(line) == "llc":
+            # Near-data actions operate on LLC-resident phantom objects
+            # *in the LLC bank* (PHI's RMW tasks update the cached
+            # deltas directly, Sec. IV-B); bypassing the engine L1d
+            # keeps the reuse visible to the LLC's replacement policy.
+            return 1 + self._llc_access(tile, line, is_write)
+        self.stats.add("engine_l1.accesses")
+        entry = self.engine_l1[tile].lookup(line)
+        if entry is not None:
+            latency = 2  # small, near-engine SRAM
+            if is_write:
+                entry.dirty = True
+                latency += self._ensure_ownership(tile, line)
+            return latency
+
+        latency = 1
+        # Snoop the on-tile L2 (no fill -- the caches stay distinct).
+        self.stats.add("l2.accesses")
+        l2_entry = self.l2[tile].lookup(line)
+        if l2_entry is not None:
+            latency += self.config.l2.hit_latency
+            if is_write:
+                latency += self._ensure_ownership(tile, line)
+            self._fill_private(tile, line, is_write, True, morph=l2_entry.morph)
+            return latency
+
+        if near_memory and not self.llc_has(line) and self.dir.peek(line) is None:
+            # Direct DRAM read at the controller; the line is cached
+            # only in the near-memory engine's L1d, never in the LLC.
+            dram_lines = self.hooks.translate(line)
+            latency += self.mem.access(
+                tile,
+                dram_lines,
+                is_write=False,
+                payload_bytes=DATA_BYTES,
+                now=self.machine.scheduler.now,
+            )
+            self.stats.add("near_memory.direct_accesses")
+            self._fill_private(tile, line, is_write, True, morph=False)
+            return latency
+
+        latency += self._llc_access(tile, line, is_write)
+        self._fill_private(tile, line, is_write, True, morph=False)
+        self.dir.record_fill(line, tile, exclusive=is_write)
+        return latency
+
+    def _llc_access(self, requester_tile, line, is_write):
+        """Access ``line`` at its LLC bank on behalf of ``requester_tile``."""
+        bank = self.bank_of(line)
+        latency = self.noc.send(requester_tile, bank, CTRL_BYTES)
+        self.stats.add("llc.accesses")
+        latency += self._resolve_coherence(bank, requester_tile, line, is_write)
+
+        llc = self.llc[bank]
+        entry = llc.lookup(line)
+        if entry is not None:
+            self.stats.add("llc.hits")
+            latency += self.config.llc.hit_latency
+            if is_write:
+                entry.dirty = True
+            latency += self.noc.send(bank, requester_tile, DATA_BYTES)
+            return latency
+
+        self.stats.add("llc.misses")
+        latency += self.config.llc.tag_latency
+
+        result = self._run_on_miss("llc", bank, line)
+        if result is not None:
+            latency += result.latency
+            for obj_line in result.lines:
+                self._insert_llc(bank, obj_line, dirty=result.dirty or is_write, morph=True)
+            self.stats.add("morph.llc_constructions")
+        else:
+            dram_lines = self.hooks.translate(line)
+            latency += self.mem.access(
+                bank,
+                dram_lines,
+                is_write=False,
+                payload_bytes=DATA_BYTES,
+                now=self.machine.scheduler.now,
+            )
+            self._insert_llc(bank, line, dirty=is_write, morph=False)
+
+        latency += self.noc.send(bank, requester_tile, DATA_BYTES)
+        return latency
+
+    # ------------------------------------------------------------------
+    # coherence
+    # ------------------------------------------------------------------
+    def _ensure_ownership(self, tile, line):
+        """Charge an upgrade if ``tile`` writes a line it does not own."""
+        if self.dir.owner_of(line) == tile:
+            return 0
+        ent = self.dir.peek(line)
+        if ent is None:
+            # Phantom (L2-morph) lines are tile-private; no directory state.
+            return 0
+        bank = self.bank_of(line)
+        latency = self.noc.round_trip(tile, bank, CTRL_BYTES, CTRL_BYTES)
+        self.stats.add("coherence.upgrades")
+        latency += self._invalidate_sharers(bank, line, keep_tile=tile)
+        self.dir.record_fill(line, tile, exclusive=True)
+        return latency
+
+    def _resolve_coherence(self, bank, requester_tile, line, is_write):
+        """Directory actions before the LLC satisfies a fill request."""
+        ent = self.dir.peek(line)
+        if ent is None:
+            return 0
+        latency = 0
+        owner = ent.owner
+        if owner is not None and owner != requester_tile:
+            # Another tile holds the line modified: fetch and write back.
+            self.stats.add("coherence.ping_pongs")
+            latency += self.noc.send(bank, owner, CTRL_BYTES)
+            latency += self.noc.send(owner, bank, DATA_BYTES)
+            self._drop_private(owner, line)
+            self.dir.record_private_eviction(line, owner)
+            llc_entry = self.llc[bank].lookup(line, touch=False)
+            if llc_entry is not None:
+                llc_entry.dirty = True
+        if is_write:
+            latency += self._invalidate_sharers(bank, line, keep_tile=requester_tile)
+        return latency
+
+    def _invalidate_sharers(self, bank, line, keep_tile):
+        latency = 0
+        for sharer in sorted(self.dir.sharers_of(line)):
+            if sharer == keep_tile:
+                continue
+            self.stats.add("coherence.invalidations")
+            latency = max(
+                latency, self.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
+            )
+            self._drop_private(sharer, line)
+            self.dir.record_private_eviction(line, sharer)
+        return latency
+
+    def _drop_private(self, tile, line):
+        """Remove ``line`` from every private cache on ``tile``."""
+        for cache in (self.l1[tile], self.l2[tile], self.engine_l1[tile]):
+            cache.invalidate(line)
+
+    # ------------------------------------------------------------------
+    # fills and evictions
+    # ------------------------------------------------------------------
+    def _fill_private(self, tile, line, is_write, engine, morph):
+        private = self.engine_l1[tile] if engine else self.l1[tile]
+        victim = private.insert(line, dirty=is_write, morph=morph)
+        if victim is not None:
+            if engine:
+                self._evict_engine_l1(tile, victim)
+            else:
+                self._evict_private_l1(tile, victim)
+        if is_write and not morph:
+            self.dir.record_fill(line, tile, exclusive=True)
+        elif not morph:
+            self.dir.record_fill(line, tile, exclusive=False)
+
+    def _evict_private_l1(self, tile, victim):
+        if victim.dirty:
+            # Write back into the L2 (which may cascade).
+            self._insert_l2(tile, victim.line, dirty=True, morph=victim.morph)
+        self._maybe_release_sharer(tile, victim.line)
+
+    def _evict_engine_l1(self, tile, victim):
+        """Engine L1d victims write back to the LLC, not the core's L2."""
+        line = victim.line
+        if victim.morph:
+            # A phantom (L2-morph) line cached by the engine: destruct.
+            self._pending_destructors.append(("l2", tile, line, victim.dirty))
+            self.stats.add("morph.l2_destructions")
+            self._maybe_release_sharer(tile, line)
+            return
+        if victim.dirty:
+            bank = self.bank_of(line)
+            self.noc.send(tile, bank, DATA_BYTES)
+            self.stats.add("llc.accesses")
+            llc_entry = self.llc[bank].lookup(line, touch=False)
+            if llc_entry is not None:
+                llc_entry.dirty = True
+            else:
+                self._insert_llc(bank, line, dirty=True, morph=False)
+        self._maybe_release_sharer(tile, line)
+
+    def _insert_l2(self, tile, line, dirty, morph):
+        l2 = self.l2[tile]
+        existing = l2.lookup(line, touch=False)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            existing.morph = existing.morph or morph
+            return
+        victim = l2.insert(line, dirty=dirty, morph=morph)
+        if victim is not None:
+            self._evict_l2(tile, victim)
+
+    def _evict_l2(self, tile, victim):
+        line = victim.line
+        # Enforce L1 (and engine L1d) inclusion within the tile.
+        l1_entry = self.l1[tile].invalidate(line)
+        e1_entry = self.engine_l1[tile].invalidate(line)
+        dirty = victim.dirty or bool(l1_entry and l1_entry.dirty) or bool(
+            e1_entry and e1_entry.dirty
+        )
+        if victim.morph:
+            # Phantom line registered at the L2: queue its destructor on
+            # this tile's engine; nothing is written down the hierarchy.
+            self._pending_destructors.append(("l2", tile, line, dirty))
+            self.stats.add("morph.l2_destructions")
+            return
+        if dirty:
+            bank = self.bank_of(line)
+            self.noc.send(tile, bank, DATA_BYTES)
+            self.stats.add("llc.accesses")
+            llc_entry = self.llc[bank].lookup(line, touch=False)
+            if llc_entry is not None:
+                llc_entry.dirty = True
+            else:
+                self._insert_llc(bank, line, dirty=True, morph=False)
+        self._maybe_release_sharer(tile, line)
+
+    def _maybe_release_sharer(self, tile, line):
+        if not self.tile_has_private(tile, line):
+            self.dir.record_private_eviction(line, tile)
+
+    def _insert_llc(self, bank, line, dirty, morph):
+        llc = self.llc[bank]
+        existing = llc.lookup(line, touch=False)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            existing.morph = existing.morph or morph
+            return
+        victim = llc.insert(line, dirty=dirty, morph=morph)
+        if victim is not None:
+            self._evict_llc(bank, victim)
+
+    def _evict_llc(self, bank, victim):
+        line = victim.line
+        # Inclusive LLC: recall private copies everywhere.
+        dirty = victim.dirty
+        for sharer in sorted(self.dir.sharers_of(line)):
+            self.stats.add("coherence.recalls")
+            self.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
+            for cache in (self.l1[sharer], self.l2[sharer], self.engine_l1[sharer]):
+                dropped = cache.invalidate(line)
+                if dropped is not None and dropped.dirty:
+                    dirty = True
+        self.dir.drop(line)
+        if victim.morph:
+            # Destructor (off the critical path; its engine work is
+            # accounted, its latency absorbed by the actor buffer).
+            self._pending_destructors.append(("llc", bank, line, dirty))
+            self.stats.add("morph.llc_destructions")
+            return
+        if dirty:
+            dram_lines = self.hooks.translate(line)
+            self.mem.access(
+                bank,
+                dram_lines,
+                is_write=True,
+                payload_bytes=DATA_BYTES,
+                now=self.machine.scheduler.now,
+            )
+            self.stats.add("llc.writebacks")
+
+    # ------------------------------------------------------------------
+    # hooks with recursion guard
+    # ------------------------------------------------------------------
+    def _run_on_miss(self, level, tile, line):
+        # A constructor must never run while the destructor of an
+        # earlier eviction of the same line is still queued (it would
+        # reset state the destructor has yet to persist) -- drain first.
+        if self._hook_depth == 0 and self._pending_destructors:
+            self._drain_destructors()
+        if self._hook_depth >= MAX_HOOK_DEPTH:
+            raise RuntimeError(
+                f"morph hook recursion exceeded {MAX_HOOK_DEPTH} at line {line:#x}"
+            )
+        self._hook_depth += 1
+        try:
+            return self.hooks.on_miss(level, tile, line)
+        finally:
+            self._hook_depth -= 1
+
+    def _drain_destructors(self):
+        """Run queued destructors until none remain.
+
+        Destructors may themselves store (evicting further morph lines);
+        those re-queue rather than recurse, mirroring the hardware's
+        pending-actor buffer.
+        """
+        while self._pending_destructors:
+            level, tile, line, dirty = self._pending_destructors.pop(0)
+            self._run_on_evict(level, tile, line, dirty)
+
+    def _run_on_evict(self, level, tile, line, dirty):
+        if self._hook_depth >= MAX_HOOK_DEPTH:
+            raise RuntimeError(
+                f"morph hook recursion exceeded {MAX_HOOK_DEPTH} at line {line:#x}"
+            )
+        self._hook_depth += 1
+        try:
+            return self.hooks.on_evict(level, tile, line, dirty)
+        finally:
+            self._hook_depth -= 1
+
+    # ------------------------------------------------------------------
+    # prefetch
+    # ------------------------------------------------------------------
+    def _train_prefetcher(self, tile, line):
+        for pf_line in self.prefetchers[tile].train(line):
+            if self.l2[tile].contains(pf_line):
+                continue
+            self._prefetch_fill(tile, pf_line)
+
+    def _prefetch_fill(self, tile, line):
+        """Fill ``line`` into the L2 in the background (no demand latency)."""
+        result = self._run_on_miss_if_allowed(tile, line)
+        if result is _PREFETCH_DENIED:
+            return
+        self.stats.add("prefetch.issued")
+        if result is not None:
+            for obj_line in result.lines:
+                self._insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
+            self.stats.add("morph.l2_constructions")
+            self.stats.add("prefetch.morph_fills")
+            return
+        self._llc_access(tile, line, is_write=False)
+        self._insert_l2(tile, line, dirty=False, morph=False)
+        self.dir.record_fill(line, tile, exclusive=False)
+
+    def _run_on_miss_if_allowed(self, tile, line):
+        if not self.hooks.allow_prefetch("l2", tile, line):
+            self.stats.add("prefetch.nacked")
+            return _PREFETCH_DENIED
+        return self._run_on_miss("l2", tile, line)
+
+    # ------------------------------------------------------------------
+    # explicit flush (Leviathan's flush instruction, Sec. VI-B2)
+    # ------------------------------------------------------------------
+    def flush_range(self, region):
+        """Flush every resident line of ``region`` from all caches.
+
+        Used when a Morph is unregistered; destructors fire for morph
+        lines, dirty ordinary lines are written back.
+        """
+        line_lo = region.base // self.line_size
+        line_hi = (region.end + self.line_size - 1) // self.line_size
+        for tile in range(self.config.n_tiles):
+            for line in self.l2[tile].resident_in(line_lo, line_hi):
+                victim = self.l2[tile].invalidate(line)
+                if victim is not None:
+                    self._evict_l2(tile, victim)
+            for cache in (self.l1[tile], self.engine_l1[tile]):
+                for line in cache.resident_in(line_lo, line_hi):
+                    victim = cache.invalidate(line)
+                    if victim is not None and victim.dirty and not victim.morph:
+                        self._insert_l2(tile, line, dirty=True, morph=False)
+                    self._maybe_release_sharer(tile, line)
+        for bank in range(self.config.n_tiles):
+            for line in self.llc[bank].resident_in(line_lo, line_hi):
+                victim = self.llc[bank].invalidate(line)
+                if victim is not None:
+                    self._evict_llc(bank, victim)
+        self._drain_destructors()
+        self.stats.add("morph.flushes")
+
+
+def _engine_l1_config(cfg):
+    """Cache geometry for the engine's small coherent L1d."""
+    from repro.sim.config import CacheConfig
+
+    return CacheConfig(
+        size_kb=cfg.engine.l1d_kb,
+        ways=cfg.engine.l1d_ways,
+        tag_latency=1,
+        data_latency=1,
+    )

@@ -1,0 +1,48 @@
+"""Strided L2 prefetcher (Table V).
+
+A simple per-tile stride detector: misses are grouped into 4 KB regions;
+two consecutive misses at a constant line stride within a region arm the
+detector, and each further miss issues a configurable prefetch depth
+ahead. Prefetches warm the L2 without blocking the demand access.
+
+Leviathan interacts with the prefetcher in one place: prefetches into a
+registered Morph range ask the morph hook for permission (streams NACK
+prefetches past the produced tail, Sec. VI-B3).
+"""
+
+
+class StridePrefetcher:
+    """One tile's L2 stride prefetcher."""
+
+    REGION_BITS = 12  # 4 KB training regions
+    TABLE_ENTRIES = 16
+    DEPTH = 2  # lines prefetched ahead once armed
+
+    def __init__(self, tile, line_size):
+        self.tile = tile
+        self.line_size = line_size
+        #: region -> (last_line, stride, confidence)
+        self._table = {}
+
+    def train(self, line):
+        """Observe an L2 miss at ``line``; return lines to prefetch."""
+        region = (line * self.line_size) >> self.REGION_BITS
+        last = self._table.get(region)
+        if last is None:
+            if len(self._table) >= self.TABLE_ENTRIES:
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = (line, 0, 0)
+            return []
+        last_line, stride, confidence = last
+        new_stride = line - last_line
+        if new_stride == 0:
+            return []
+        if new_stride == stride:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = 0
+            stride = new_stride
+        self._table[region] = (line, stride, confidence)
+        if confidence >= 1 and stride != 0:
+            return [line + stride * (i + 1) for i in range(self.DEPTH)]
+        return []

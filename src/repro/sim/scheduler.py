@@ -1,0 +1,156 @@
+"""Timestamp-ordered interleaving of simulated contexts.
+
+The scheduler keeps a min-heap of runnable contexts ordered by local
+time, resumes the earliest, executes the operation it yields (charging
+latency), and re-queues it. Contexts block by raising
+:class:`~repro.sim.ops.Park`; :meth:`Scheduler.wake_one` /
+:meth:`Scheduler.wake_all` make them runnable again, either retrying the
+blocked operation or resuming the generator with a wake value.
+
+The model is deterministic: ties are broken by spawn order, and no
+randomness exists outside explicitly seeded workload generators.
+"""
+
+import heapq
+
+from repro.sim.ops import Op, Park
+from repro.sim.thread import Context
+
+
+class SimDeadlock(RuntimeError):
+    """No context is runnable but some are still parked."""
+
+
+class _Resume:
+    """What to do when a context is next scheduled."""
+
+    __slots__ = ("send_value", "retry_op")
+
+    def __init__(self, send_value=None, retry_op=None):
+        self.send_value = send_value
+        self.retry_op = retry_op
+
+
+class Scheduler:
+    def __init__(self, machine):
+        self.machine = machine
+        self._heap = []
+        self._seq = 0
+        self._n_live = 0
+        self._parked = set()
+        self.now = 0.0
+        self.current = None
+
+    # ------------------------------------------------------------------
+    # spawning and queueing
+    # ------------------------------------------------------------------
+    def spawn(self, program, tile, name=None, is_engine=False, engine=None, at_time=None):
+        """Create and enqueue a context running ``program`` on ``tile``."""
+        start = self.now if at_time is None else at_time
+        ctx = Context(
+            program, tile, name=name, is_engine=is_engine, engine=engine, at_time=start
+        )
+        self._n_live += 1
+        self._push(ctx, _Resume())
+        return ctx
+
+    def _push(self, ctx, resume):
+        self._seq += 1
+        heapq.heappush(self._heap, (ctx.time, self._seq, ctx, resume))
+
+    # ------------------------------------------------------------------
+    # blocking / waking
+    # ------------------------------------------------------------------
+    def park(self, ctx, condition, retry_op=None):
+        ctx.parked_on = condition
+        condition.waiters.append((ctx, retry_op))
+        self._parked.add(ctx)
+
+    def wake_all(self, condition, value=None, at_time=None):
+        """Wake every waiter on ``condition``."""
+        waiters, condition.waiters = condition.waiters, []
+        for ctx, retry_op in waiters:
+            self._wake(ctx, retry_op, value, at_time)
+        return len(waiters)
+
+    def wake_one(self, condition, value=None, at_time=None):
+        """Wake the longest-waiting waiter on ``condition`` (if any)."""
+        if not condition.waiters:
+            return 0
+        ctx, retry_op = condition.waiters.pop(0)
+        self._wake(ctx, retry_op, value, at_time)
+        return 1
+
+    def _wake(self, ctx, retry_op, value, at_time):
+        ctx.parked_on = None
+        self._parked.discard(ctx)
+        wake_time = self.now if at_time is None else at_time
+        ctx.time = max(ctx.time, wake_time)
+        self._push(ctx, _Resume(send_value=value, retry_op=retry_op))
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        """Run until every context has finished; returns the final time."""
+        heap = self._heap
+        while heap:
+            time, _seq, ctx, resume = heapq.heappop(heap)
+            if ctx.done:
+                continue
+            self.now = max(self.now, time)
+            self.current = ctx
+            self._step(ctx, resume)
+        self.current = None
+        if self._parked:
+            raise SimDeadlock(
+                "simulation deadlock; parked contexts: "
+                + ", ".join(
+                    f"{c.name} on {c.parked_on}" for c in sorted(
+                        self._parked, key=lambda c: c.ctid
+                    )
+                )
+            )
+        return self.now
+
+    def _step(self, ctx, resume):
+        """Execute operations of ``ctx`` until it blocks, finishes, or
+        falls behind another runnable context."""
+        machine = self.machine
+        heap = self._heap
+        op = resume.retry_op
+        send_value = resume.send_value
+        while True:
+            if op is None:
+                try:
+                    op = ctx.program.send(send_value)
+                except StopIteration as stop:
+                    ctx.done = True
+                    ctx.result = getattr(stop, "value", None)
+                    self._n_live -= 1
+                    for callback in ctx.on_done:
+                        callback(machine, ctx)
+                    return
+                send_value = None
+                if not isinstance(op, Op):
+                    raise TypeError(
+                        f"{ctx.name} yielded {op!r}, which is not an Op"
+                    )
+            try:
+                latency = op.execute(machine, ctx)
+            except Park as park:
+                self.park(ctx, park.condition, retry_op=op if park.retry else None)
+                return
+            ctx.time += latency
+            send_value = getattr(op, "result", None)
+            op = None
+            # Keep running this context while it is still the earliest.
+            if heap and ctx.time > heap[0][0]:
+                self._push(ctx, _Resume(send_value=send_value))
+                return
+            self.now = max(self.now, ctx.time)
+
+    @property
+    def parked_contexts(self):
+        """Contexts currently blocked on a condition (for diagnostics)."""
+        return sorted(self._parked, key=lambda c: c.ctid)

@@ -1,0 +1,107 @@
+"""Event counters and per-run statistics.
+
+Every component of the machine increments counters on a shared
+:class:`Stats` object. The energy model (:mod:`repro.sim.energy`) and the
+experiment harness both read these counters; the figures in the paper are
+(almost entirely) functions of them.
+"""
+
+from collections import Counter
+
+
+class Stats:
+    """A flat bag of named counters plus a few derived views.
+
+    Counter names follow a ``component.event`` convention, e.g.
+    ``l1.hits``, ``llc.misses``, ``noc.flit_hops``, ``dram.accesses``,
+    ``engine.instructions``. Components may also record *phased*
+    counters (``phase/component.event``) when the workload marks
+    execution phases (used by Fig. 21's per-phase DRAM breakdown).
+    """
+
+    def __init__(self):
+        self.counters = Counter()
+        self._phase = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add(self, name, amount=1):
+        """Increment counter ``name`` by ``amount``.
+
+        If a phase is active, a second, phase-qualified counter is also
+        incremented so per-phase breakdowns can be reported.
+        """
+        self.counters[name] += amount
+        if self._phase is not None:
+            self.counters[f"{self._phase}/{name}"] += amount
+
+    def set_phase(self, phase):
+        """Enter a named execution phase (or ``None`` to leave)."""
+        self._phase = phase
+
+    @property
+    def phase(self):
+        return self._phase
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get(self, name):
+        return self.counters.get(name, 0)
+
+    def __getitem__(self, name):
+        return self.counters.get(name, 0)
+
+    def matching(self, prefix):
+        """All counters whose name starts with ``prefix``, as a dict."""
+        return {k: v for k, v in self.counters.items() if k.startswith(prefix)}
+
+    def total(self, suffix):
+        """Sum of all counters ending in ``.suffix`` (unphased only)."""
+        return sum(
+            v
+            for k, v in self.counters.items()
+            if "/" not in k and k.endswith("." + suffix)
+        )
+
+    # ------------------------------------------------------------------
+    # convenience views used across the evaluation
+    # ------------------------------------------------------------------
+    @property
+    def dram_accesses(self):
+        return self.get("dram.accesses")
+
+    @property
+    def noc_flit_hops(self):
+        return self.get("noc.flit_hops")
+
+    @property
+    def branch_mispredictions(self):
+        return self.get("core.branch_mispredictions")
+
+    @property
+    def engine_instructions(self):
+        return self.get("engine.instructions")
+
+    def snapshot(self):
+        """An immutable copy of the counters for later diffing."""
+        return dict(self.counters)
+
+    def diff(self, snapshot):
+        """Counters accumulated since ``snapshot`` was taken."""
+        out = Counter(self.counters)
+        out.subtract(snapshot)
+        return {k: v for k, v in out.items() if v}
+
+    def report(self, prefixes=None):
+        """A sorted, human-readable multi-line report."""
+        lines = []
+        for name in sorted(self.counters):
+            if prefixes and not any(name.startswith(p) for p in prefixes):
+                continue
+            lines.append(f"{name:40s} {self.counters[name]:>14}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Stats({len(self.counters)} counters)"

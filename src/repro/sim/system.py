@@ -1,0 +1,120 @@
+"""The :class:`Machine`: one simulated multicore.
+
+``Machine`` owns the hierarchy, the scheduler, the statistics, the
+energy model, the address space, and a value store that gives workloads
+*functional* memory semantics (data values keyed by address) on top of
+the tag-only timing model.
+
+A bare ``Machine`` is the paper's baseline multicore. The Leviathan
+runtime (:class:`repro.core.runtime.Leviathan`) augments a machine with
+engines and installs its hierarchy hooks.
+"""
+
+from repro.sim.address import AddressSpace
+from repro.sim.energy import EnergyModel
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+from repro.sim.thread import InlineContext
+from repro.sim.tile import Tile
+
+
+class Machine:
+    """One simulated tiled multicore (Table V)."""
+
+    def __init__(self, config, energy_params=None):
+        self.config = config
+        self.stats = Stats()
+        self.hierarchy = Hierarchy(self)
+        self.scheduler = Scheduler(self)
+        self.address_space = AddressSpace(config.line_size)
+        self.energy_model = EnergyModel(
+            params=energy_params, ideal_engine=config.engine.ideal
+        )
+        #: Functional value store: address -> Python object. Workloads
+        #: and near-data actions read/write it directly; the timing model
+        #: only sees the addresses.
+        self.mem = {}
+        self.tiles = [Tile(self, t) for t in range(config.n_tiles)]
+        #: Set by the Leviathan runtime when engines are attached.
+        self.engines = None
+        #: The Leviathan runtime, when one is installed on this machine.
+        self.leviathan = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def spawn(self, program, tile, name=None, is_engine=False, engine=None, at_time=None):
+        """Schedule a generator program as a new context."""
+        if not 0 <= tile < self.config.n_tiles:
+            raise ValueError(f"tile {tile} out of range")
+        return self.scheduler.spawn(
+            program, tile, name=name, is_engine=is_engine, engine=engine, at_time=at_time
+        )
+
+    def run(self):
+        """Run to completion; returns the final simulated time (cycles)."""
+        return self.scheduler.run()
+
+    def run_inline(self, program, tile, is_engine=True, name="inline-action"):
+        """Execute a short action synchronously.
+
+        Returns ``(latency, return_value)``. Used for data-triggered
+        constructors/destructors (which execute inside a cache fill or
+        eviction) and for DYNAMIC invokes that hit in the invoker's L1.
+        Inline programs must not block.
+        """
+        ctx = InlineContext(tile, is_engine=is_engine, name=name)
+        ctx.time = self.now
+        latency = 0.0
+        result = None
+        try:
+            op = next(program)
+            while True:
+                latency += op.execute(self, ctx)
+                op = program.send(getattr(op, "result", None))
+        except StopIteration as stop:
+            result = getattr(stop, "value", None)
+        return latency, result
+
+    # ------------------------------------------------------------------
+    # services used by operations
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        return self.scheduler.now
+
+    def compute_latency(self, ctx, instructions):
+        """Latency of ``instructions`` on the context's compute resource."""
+        if instructions <= 0:
+            return 0.0
+        if ctx.is_engine:
+            self.stats.add("engine.instructions", instructions)
+            if self.config.engine.ideal:
+                return 0.0
+            engine = self.config.engine
+            return instructions * engine.pe_latency / engine.issue_width
+        self.stats.add("core.instructions", instructions)
+        return instructions / self.config.core.ipc
+
+    def wake_all(self, condition, value=None, at_time=None):
+        return self.scheduler.wake_all(condition, value=value, at_time=at_time)
+
+    def wake_one(self, condition, value=None, at_time=None):
+        return self.scheduler.wake_one(condition, value=value, at_time=at_time)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def energy_pj(self):
+        return self.energy_model.energy_pj(self.stats)
+
+    def seconds(self, cycles=None):
+        cycles = self.scheduler.now if cycles is None else cycles
+        return cycles / (self.config.core.freq_ghz * 1e9)
+
+    def __repr__(self):
+        return (
+            f"Machine({self.config.n_tiles} tiles, "
+            f"LLC {self.config.llc_total_kb} KB, t={self.scheduler.now:.0f})"
+        )

@@ -1,0 +1,75 @@
+"""Simulated execution contexts.
+
+A :class:`Context` wraps a generator program with a local clock and a
+placement (tile, core-or-engine). Core threads, long-lived engine
+actions, and stream producers are all contexts; they differ only in
+their timing parameters and energy accounting.
+
+:class:`InlineContext` is the degenerate context used when the hierarchy
+runs a short data-triggered action synchronously inside a cache fill.
+"""
+
+import itertools
+
+_ids = itertools.count()
+
+
+class Context:
+    """One schedulable program."""
+
+    inline = False
+
+    __slots__ = (
+        "ctid",
+        "name",
+        "program",
+        "time",
+        "tile",
+        "is_engine",
+        "engine",
+        "done",
+        "result",
+        "on_done",
+        "parked_on",
+        "near_memory",
+    )
+
+    def __init__(self, program, tile, name=None, is_engine=False, engine=None, at_time=0.0):
+        self.ctid = next(_ids)
+        self.name = name or f"ctx{self.ctid}"
+        self.program = program
+        self.time = float(at_time)
+        self.tile = tile
+        self.is_engine = is_engine
+        #: The Engine this context occupies a task context of (if any).
+        self.engine = engine
+        self.done = False
+        self.result = None
+        #: Callbacks fired at completion: ``fn(machine, ctx)``.
+        self.on_done = []
+        #: The Condition this context is parked on (for deadlock reports).
+        self.parked_on = None
+        #: Near-memory task (Sec. IX extension): uncached accesses go
+        #: straight to DRAM instead of through a distant LLC bank.
+        self.near_memory = False
+
+    def __repr__(self):
+        state = "done" if self.done else ("parked" if self.parked_on else "runnable")
+        kind = "engine" if self.is_engine else "core"
+        return f"Context({self.name}, {kind}@tile{self.tile}, t={self.time:.0f}, {state})"
+
+
+class InlineContext:
+    """Context stand-in for synchronously executed data-triggered actions."""
+
+    inline = True
+
+    __slots__ = ("tile", "is_engine", "engine", "name", "time", "near_memory")
+
+    def __init__(self, tile, is_engine=True, name="inline-action"):
+        self.tile = tile
+        self.is_engine = is_engine
+        self.engine = None
+        self.name = name
+        self.time = 0.0
+        self.near_memory = False

@@ -1,0 +1,44 @@
+"""Tile composition.
+
+A tile bundles the per-tile components: one core, its private L1 and L2,
+one bank of the shared LLC, and (when Leviathan is active) one near-data
+engine. The heavy lifting lives in :mod:`repro.sim.hierarchy`; this
+class provides a navigable per-tile view used by tests and diagnostics.
+"""
+
+
+class Tile:
+    """A per-tile view over the machine's shared component arrays."""
+
+    def __init__(self, machine, index):
+        self.machine = machine
+        self.index = index
+
+    @property
+    def l1(self):
+        return self.machine.hierarchy.l1[self.index]
+
+    @property
+    def l2(self):
+        return self.machine.hierarchy.l2[self.index]
+
+    @property
+    def llc_bank(self):
+        return self.machine.hierarchy.llc[self.index]
+
+    @property
+    def engine_l1(self):
+        return self.machine.hierarchy.engine_l1[self.index]
+
+    @property
+    def engine(self):
+        """The Leviathan engine on this tile, or ``None`` on a baseline."""
+        engines = getattr(self.machine, "engines", None)
+        return engines[self.index] if engines else None
+
+    @property
+    def coords(self):
+        return self.machine.hierarchy.noc.coords(self.index)
+
+    def __repr__(self):
+        return f"Tile({self.index} @ {self.coords})"

@@ -1,0 +1,102 @@
+"""Optional event tracing for debugging simulations.
+
+A :class:`Tracer` wraps a machine and records a bounded log of
+interesting events (memory accesses within watched ranges, morph
+constructions/destructions, context switches). Tracing is strictly
+opt-in and adds no cost when unused -- the hot paths never consult it.
+
+Example::
+
+    tracer = Tracer(machine)
+    tracer.watch_range(region.base, region.end, "deltas")
+    ... run ...
+    print(tracer.render(limit=50))
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    detail: str
+
+    def __str__(self):
+        return f"t={self.time:12.1f}  {self.kind:<12s} {self.detail}"
+
+
+class Tracer:
+    """Records machine events against watched address ranges."""
+
+    def __init__(self, machine, max_events=10_000):
+        self.machine = machine
+        self.max_events = max_events
+        self.events = []
+        self._ranges = []  # (lo, hi, label)
+        self._original_access = machine.hierarchy.access
+        machine.hierarchy.access = self._traced_access
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def watch_range(self, lo, hi, label):
+        """Record every access whose address falls in ``[lo, hi)``."""
+        self._ranges.append((lo, hi, label))
+        return self
+
+    def detach(self):
+        """Stop tracing and restore the machine's access path."""
+        self.machine.hierarchy.access = self._original_access
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _label_of(self, addr):
+        for lo, hi, label in self._ranges:
+            if lo <= addr < hi:
+                return label
+        return None
+
+    def _record(self, kind, detail):
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(time=self.machine.scheduler.now, kind=kind, detail=detail)
+        )
+
+    def _traced_access(
+        self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False
+    ):
+        label = self._label_of(addr)
+        if label is not None:
+            op = "store" if is_write else "load"
+            who = "engine" if engine else "core"
+            self._record(
+                "access",
+                f"{label}: {op} {size}B @ {addr:#x} by {who}{tile}",
+            )
+        return self._original_access(
+            tile, addr, size, is_write, engine=engine, apply=apply, near_memory=near_memory
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.events)
+
+    def render(self, limit=None):
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)
+
+    def count(self, kind=None, containing=None):
+        """Number of recorded events, optionally filtered."""
+        total = 0
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if containing is not None and containing not in event.detail:
+                continue
+            total += 1
+        return total

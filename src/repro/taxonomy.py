@@ -1,0 +1,145 @@
+"""The NDC taxonomy (Sec. II, Tables I-III).
+
+Structured data for the paper's taxonomy of near-data computing: the
+four paradigms, their characteristics, representative prior work
+(Table I), the actions associated with each paradigm (Table II), and
+the per-paradigm microarchitecture support (Table III). The experiment
+harness renders these as the paper's tables; the runtime uses
+:data:`PARADIGMS` for validation and documentation.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Paradigm:
+    """One NDC paradigm and its taxonomy attributes (Table I)."""
+
+    name: str
+    small_tasks: bool
+    talks_to_cores: bool
+    prior_work: tuple
+    #: Actions associated with the paradigm (Table II).
+    actions: str
+    #: Per-paradigm microarchitecture support (Table III).
+    core_support: str
+    cache_support: str
+    engine_support: str
+    #: The rough analogy from Sec. II-C.
+    analogy: str
+
+
+TASK_OFFLOAD = Paradigm(
+    name="Task offload",
+    small_tasks=True,
+    talks_to_cores=True,
+    prior_work=(
+        "Remote memory operations (RMOs)",
+        "Minnow",
+        "hash tables",
+        "memoization",
+        "BSSync",
+        "pointer chasing",
+        "data remapping",
+        "Compute Caches",
+        "Livia",
+        "Dist-DA",
+    ),
+    actions="Arbitrary actor-specific function",
+    core_support="invoke instr & buf",
+    cache_support="N/A",
+    engine_support="DYNAMIC scheduling",
+    analogy="calling a function",
+)
+
+LONG_LIVED = Paradigm(
+    name="Long-lived workloads",
+    small_tasks=False,
+    talks_to_cores=False,
+    prior_work=("PageForge", "SerDes", "garbage collection", "COREx"),
+    actions="Arbitrary actor-specific function",
+    core_support="invoke instr & buf",
+    cache_support="N/A",
+    engine_support="DYNAMIC scheduling",
+    analogy="spawning a thread",
+)
+
+DATA_TRIGGERED = Paradigm(
+    name="Data-triggered actions",
+    small_tasks=True,
+    talks_to_cores=False,
+    prior_work=(
+        "Prefetching",
+        "compression",
+        "HTM",
+        "coherence and synchronization",
+        "Impulse",
+        "Relational Memory",
+        "Tvarak",
+        "PHI",
+        "tako",
+    ),
+    actions="Actor constructor & destructor",
+    core_support="flush instr, TLB bits",
+    cache_support="tag bits",
+    engine_support="actor buffer, vtable map",
+    analogy="registering an interrupt handler",
+)
+
+STREAMING = Paradigm(
+    name="Streaming",
+    small_tasks=False,
+    talks_to_cores=True,
+    prior_work=(
+        "Stream Dataflow",
+        "Stream ISA",
+        "Stream Floating",
+        "Near-Stream Computing",
+        "Task Stream",
+        "Infinity Stream",
+        "HATS",
+        "SpZip",
+        "Cohort",
+    ),
+    actions="Actor-specific producer function",
+    core_support="pop instr",
+    cache_support="N/A",
+    engine_support="push instr, stream metadata",
+    analogy="opening a network socket",
+)
+
+PARADIGMS = (TASK_OFFLOAD, LONG_LIVED, DATA_TRIGGERED, STREAMING)
+
+
+def table1():
+    """Table I rows: (paradigm, small tasks?, talks to cores?, prior work)."""
+    return [
+        (p.name, p.small_tasks, p.talks_to_cores, ", ".join(p.prior_work))
+        for p in PARADIGMS
+    ]
+
+
+def table2():
+    """Table II rows: (paradigm, actions)."""
+    return [(p.name, p.actions) for p in PARADIGMS]
+
+
+def table3():
+    """Table III rows: (paradigm, core, cache, engine support).
+
+    Long-lived workloads share the task-offload row in the paper's
+    Table III (the invoke interface covers both, Sec. V-B1).
+    """
+    return [
+        (p.name, p.core_support, p.cache_support, p.engine_support)
+        for p in PARADIGMS
+        if p is not LONG_LIVED
+    ]
+
+
+def classify(small_tasks, talks_to_cores):
+    """The paradigm with the given taxonomy coordinates (Fig. 3)."""
+    for p in PARADIGMS:
+        if p.small_tasks == small_tasks and p.talks_to_cores == talks_to_cores:
+            return p
+    raise LookupError("no paradigm matches")  # pragma: no cover

@@ -1,0 +1,22 @@
+"""The paper's four case studies and their baselines.
+
+Each module exposes ``run_<variant>()`` functions returning a
+:class:`~repro.workloads.common.RunResult` plus a ``run_all()`` driver
+used by the figure benchmarks:
+
+- :mod:`repro.workloads.phi` -- commutative scatter-updates (Sec. IV,
+  Fig. 5): baseline push PageRank, tākō with fenced and relaxed
+  atomics, Leviathan, and the idealized engine.
+- :mod:`repro.workloads.decompress` -- near-cache data transformation
+  (Sec. VIII-A, Fig. 16): software decompression, task-offload (OL),
+  Leviathan with and without padding, ideal.
+- :mod:`repro.workloads.hashtable` -- hash-table lookups (Sec. VIII-B,
+  Fig. 18): software chains vs. offloaded pointer chasing, with and
+  without padding / LLC object mapping, across object sizes.
+- :mod:`repro.workloads.hats` -- decoupled graph traversal
+  (Sec. VIII-C, Figs. 20-21): PageRank order, software BDFS, tākō
+  pseudo-streaming, Leviathan streams, ideal.
+- :mod:`repro.workloads.components` -- connected components with
+  commutative *min* combining: PHI generality beyond Fig. 5's
+  PageRank (Sec. IV's "diversity of graph applications" point).
+"""

@@ -1,0 +1,41 @@
+"""Key/index distributions used by the case studies.
+
+The paper indexes the decompression array "using a Zipfian
+distribution [17] of 32 K accesses" and generates hash-table keys "from
+a uniform distribution" (with similar results under Zipf). Both
+generators are deterministic under a seed.
+"""
+
+import numpy as np
+
+
+def zipfian_indices(n_items, n_samples, skew=0.99, seed=0):
+    """``n_samples`` indices in ``[0, n_items)`` with Zipfian popularity.
+
+    Uses the standard power-law weights ``1 / rank^skew`` over a random
+    permutation of items, so popularity is not correlated with address
+    order (matching real access patterns).
+    """
+    if n_items <= 0 or n_samples < 0:
+        raise ValueError("n_items must be positive and n_samples non-negative")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, skew)
+    weights /= weights.sum()
+    permutation = rng.permutation(n_items)
+    draws = rng.choice(n_items, size=n_samples, p=weights)
+    return permutation[draws]
+
+
+def uniform_indices(n_items, n_samples, seed=0):
+    """``n_samples`` uniformly random indices in ``[0, n_items)``."""
+    if n_items <= 0 or n_samples < 0:
+        raise ValueError("n_items must be positive and n_samples non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_items, size=n_samples)
+
+
+def uniform_keys(n_keys, key_space, seed=0):
+    """``n_keys`` uniformly random keys in ``[0, key_space)``."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, key_space, size=n_keys)

@@ -1,0 +1,134 @@
+"""Synthetic graph generators and the CSR representation.
+
+Two generators stand in for the paper's inputs (per the substitution
+table in DESIGN.md):
+
+- :func:`uniform_graph` -- uniformly random edges, the stand-in for the
+  paper's "4M vertex, 40M edge synthetic graph" in the PHI study
+  (scatter-updates hit random destinations).
+- :func:`community_graph` -- strong community structure with shuffled
+  vertex ids, the stand-in for uk-2002 in the HATS study: consecutive
+  CSR traversal has poor locality, while a bounded-DFS traversal stays
+  inside a community and reuses cached vertex data.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """A directed graph in CSR form (in-edges, as pull-style PageRank uses).
+
+    ``offsets[v] : offsets[v+1]`` indexes ``neighbors`` with the sources
+    of v's in-edges. ``out_degree[u]`` counts u's out-edges (PageRank
+    contributions divide by out-degree).
+    """
+
+    n_vertices: int
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    out_degree: np.ndarray
+
+    @property
+    def n_edges(self):
+        return int(len(self.neighbors))
+
+    def in_neighbors(self, v):
+        return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
+
+    def in_degree(self, v):
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def edges(self):
+        """Iterate (src, dst) pairs in CSR (destination-major) order."""
+        for dst in range(self.n_vertices):
+            for src in self.in_neighbors(dst):
+                yield int(src), dst
+
+
+def _csr_from_pairs(n_vertices, srcs, dsts):
+    srcs = np.asarray(srcs, dtype=np.int64)
+    dsts = np.asarray(dsts, dtype=np.int64)
+    order = np.argsort(dsts, kind="stable")
+    srcs, dsts = srcs[order], dsts[order]
+    offsets = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.add.at(offsets, dsts + 1, 1)
+    offsets = np.cumsum(offsets)
+    out_degree = np.zeros(n_vertices, dtype=np.int64)
+    np.add.at(out_degree, srcs, 1)
+    return Graph(
+        n_vertices=n_vertices,
+        offsets=offsets,
+        neighbors=srcs,
+        out_degree=out_degree,
+    )
+
+
+def uniform_graph(n_vertices, n_edges, seed=0):
+    """Uniformly random directed edges (self-loops filtered)."""
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    srcs = rng.integers(0, n_vertices, size=n_edges)
+    dsts = rng.integers(0, n_vertices, size=n_edges)
+    loops = srcs == dsts
+    dsts[loops] = (dsts[loops] + 1) % n_vertices
+    return _csr_from_pairs(n_vertices, srcs, dsts)
+
+
+def community_graph(
+    n_vertices,
+    n_edges,
+    n_communities=None,
+    intra_fraction=0.9,
+    seed=0,
+):
+    """A graph with planted communities and shuffled vertex ids.
+
+    ``intra_fraction`` of edges connect vertices of the same community;
+    the remainder are uniform. Vertex ids are randomly permuted so that
+    community members are *not* adjacent in memory -- exactly the
+    layout-vs-structure mismatch HATS exploits ("without expensive
+    pre-processing, it is inefficient to process the edges in the order
+    they are laid out in memory").
+    """
+    if n_communities is None:
+        n_communities = max(2, int(np.sqrt(n_vertices) / 2))
+    rng = np.random.default_rng(seed)
+    community = rng.integers(0, n_communities, size=n_vertices)
+    members = [np.flatnonzero(community == c) for c in range(n_communities)]
+    members = [m for m in members if len(m) >= 2]
+
+    srcs = np.empty(n_edges, dtype=np.int64)
+    dsts = np.empty(n_edges, dtype=np.int64)
+    intra = rng.random(n_edges) < intra_fraction
+    n_intra = int(intra.sum())
+
+    # Intra-community edges: pick a community (weighted by size), then
+    # two distinct members (vectorized; collisions shifted within the
+    # community).
+    sizes = np.array([len(m) for m in members], dtype=np.float64)
+    comm_choice = rng.choice(len(members), size=n_intra, p=sizes / sizes.sum())
+    comm_sizes = sizes[comm_choice].astype(np.int64)
+    src_slot = (rng.random(n_intra) * comm_sizes).astype(np.int64)
+    dst_slot = (rng.random(n_intra) * comm_sizes).astype(np.int64)
+    same = src_slot == dst_slot
+    dst_slot[same] = (dst_slot[same] + 1) % comm_sizes[same]
+    flat_members = np.concatenate(members) if members else np.arange(n_vertices)
+    starts = np.cumsum([0] + [len(m) for m in members[:-1]])
+    srcs[intra] = flat_members[starts[comm_choice] + src_slot]
+    dsts[intra] = flat_members[starts[comm_choice] + dst_slot]
+
+    n_inter = n_edges - n_intra
+    inter_src = rng.integers(0, n_vertices, size=n_inter)
+    inter_dst = rng.integers(0, n_vertices, size=n_inter)
+    loops = inter_src == inter_dst
+    inter_dst[loops] = (inter_dst[loops] + 1) % n_vertices
+    srcs[~intra] = inter_src
+    dsts[~intra] = inter_dst
+
+    # Shuffle ids so memory order does not follow community structure.
+    perm = rng.permutation(n_vertices)
+    return _csr_from_pairs(n_vertices, perm[srcs], perm[dsts])

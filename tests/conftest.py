@@ -1,0 +1,45 @@
+"""Shared fixtures: small machines and Leviathan runtimes."""
+
+import pytest
+
+from repro.core.runtime import Leviathan
+from repro.sim.config import SystemConfig, small_config
+from repro.sim.system import Machine
+
+
+@pytest.fixture
+def config():
+    """A small 4-tile machine configuration for unit tests."""
+    return small_config()
+
+
+@pytest.fixture
+def machine(config):
+    """A bare (baseline) machine."""
+    return Machine(config)
+
+
+@pytest.fixture
+def runtime(machine):
+    """A machine with the Leviathan runtime installed."""
+    return Leviathan(machine)
+
+
+@pytest.fixture
+def full_config():
+    """The unscaled Table V configuration."""
+    return SystemConfig()
+
+
+def as_program(ops):
+    """Wrap a plain iterable of ops as a generator program."""
+    for op in ops:
+        yield op
+
+
+def run_program(machine, program, tile=0, name="test"):
+    """Spawn a single program and run the machine to completion."""
+    if not hasattr(program, "send"):
+        program = as_program(program)
+    machine.spawn(program, tile=tile, name=name)
+    return machine.run()

@@ -1,0 +1,70 @@
+"""Unit tests for the Actor base class and action registration."""
+
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.sim.ops import Compute
+
+
+class Counter(Actor):
+    SIZE = 8
+
+    @action
+    def bump(self, env, amount):
+        yield Compute(1)
+        return amount + 1
+
+    def helper(self):
+        return "not an action"
+
+
+class TestActor:
+    def test_requires_size(self):
+        class Nameless(Actor):
+            pass
+
+        with pytest.raises(TypeError):
+            Nameless()
+
+    def test_actions_discovered(self):
+        assert Counter.actions() == ["bump"]
+
+    def test_action_fn_bound(self):
+        counter = Counter()
+        fn = counter.action_fn("bump")
+        gen = fn(None, 41)
+        next(gen)
+        with pytest.raises(StopIteration) as stop:
+            gen.send(None)
+        assert stop.value.value == 42
+
+    def test_non_action_rejected(self):
+        counter = Counter()
+        with pytest.raises(AttributeError):
+            counter.action_fn("helper")
+        with pytest.raises(AttributeError):
+            counter.action_fn("missing")
+
+    def test_repr_unallocated(self):
+        assert "unallocated" in repr(Counter())
+
+    def test_repr_with_address(self):
+        counter = Counter()
+        counter.addr = 0x1234
+        assert "0x1234" in repr(counter)
+
+    def test_subclass_size_inherited_by_allocator(self, runtime):
+        alloc = runtime.allocator_for(Counter, capacity=8)
+        counter = alloc.allocate()
+        assert counter.addr is not None
+        assert counter.allocator is alloc
+
+    def test_action_marker_preserved_in_subclass(self):
+        class Derived(Counter):
+            SIZE = 16
+
+            @action
+            def other(self, env):
+                yield Compute(1)
+
+        assert sorted(Derived.actions()) == ["bump", "other"]

@@ -1,0 +1,111 @@
+"""Unit and property tests for addresses, regions, and spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.address import AddressSpace, Region
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(0x100, 0x40)
+        assert region.contains(0x100)
+        assert region.contains(0x13F)
+        assert not region.contains(0x140)
+        assert not region.contains(0xFF)
+
+    def test_end(self):
+        assert Region(0x100, 0x40).end == 0x140
+
+    def test_overlaps(self):
+        a = Region(0, 16)
+        assert a.overlaps(Region(8, 16))
+        assert not a.overlaps(Region(16, 16))
+
+    def test_offset_of(self):
+        region = Region(0x100, 0x40)
+        assert region.offset_of(0x110) == 0x10
+        with pytest.raises(ValueError):
+            region.offset_of(0x200)
+
+
+class TestAddressSpace:
+    def test_alloc_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert b >= a + 100
+
+    def test_alloc_alignment(self):
+        space = AddressSpace()
+        addr = space.alloc(10, align=64)
+        assert addr % 64 == 0
+
+    def test_alloc_rejects_bad_sizes(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.alloc(0)
+        with pytest.raises(ValueError):
+            space.alloc(8, align=3)
+
+    def test_dram_space_is_disjoint_from_cache_space(self):
+        space = AddressSpace()
+        cache_addr = space.alloc(1 << 20)
+        dram_addr = space.alloc_dram(1 << 20)
+        assert dram_addr >= AddressSpace.DRAM_BASE
+        assert cache_addr < AddressSpace.DRAM_BASE
+
+    def test_alloc_region(self):
+        space = AddressSpace()
+        region = space.alloc_region(100)
+        assert region.size == 100
+        assert region.base % 64 == 0
+
+    def test_line_of(self):
+        space = AddressSpace(line_size=64)
+        assert space.line_of(0) == 0
+        assert space.line_of(63) == 0
+        assert space.line_of(64) == 1
+
+    def test_line_base(self):
+        space = AddressSpace(line_size=64)
+        assert space.line_base(0x7F) == 0x40
+
+    def test_lines_touched_single(self):
+        space = AddressSpace(line_size=64)
+        assert list(space.lines_touched(0, 8)) == [0]
+
+    def test_lines_touched_straddle(self):
+        space = AddressSpace(line_size=64)
+        assert list(space.lines_touched(60, 8)) == [0, 1]
+
+    def test_lines_touched_multi_line(self):
+        space = AddressSpace(line_size=64)
+        assert list(space.lines_touched(0, 256)) == [0, 1, 2, 3]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=30),
+    align=st.sampled_from([1, 8, 64, 256]),
+)
+def test_property_allocations_never_overlap(sizes, align):
+    space = AddressSpace()
+    regions = []
+    for size in sizes:
+        base = space.alloc(size, align=align)
+        assert base % align == 0
+        regions.append(Region(base, size))
+    for i, a in enumerate(regions):
+        for b in regions[i + 1 :]:
+            assert not a.overlaps(b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=1 << 30), size=st.integers(1, 1024))
+def test_property_lines_touched_cover_access(addr, size):
+    space = AddressSpace(line_size=64)
+    lines = list(space.lines_touched(addr, size))
+    assert lines[0] == addr // 64
+    assert lines[-1] == (addr + size - 1) // 64
+    assert lines == sorted(lines)

@@ -1,0 +1,174 @@
+"""Unit and property tests for the padding/compaction allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocator import Allocator, Pool, padded_size_of
+
+
+class TestPaddedSize:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1, 1), (6, 8), (8, 8), (24, 32), (33, 64), (64, 64), (65, 128), (128, 128), (200, 256)],
+    )
+    def test_next_power_of_two(self, size, expected):
+        assert padded_size_of(size) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            padded_size_of(0)
+
+    def test_rejects_beyond_hardware_max(self):
+        # Four cache lines (256 B) is the evaluation's maximum.
+        with pytest.raises(ValueError):
+            padded_size_of(257)
+
+    def test_custom_max(self):
+        assert padded_size_of(500, max_object_lines=16) == 512
+
+
+class TestPool:
+    def test_addr_roundtrip(self):
+        pool = Pool(base=0x1000, capacity=8, padded_size=32, entry=None)
+        for i in range(8):
+            addr = pool.addr_of(i)
+            assert pool.index_of(addr) == i
+            assert pool.index_of(addr + 31) == i
+
+    def test_bounds(self):
+        pool = Pool(base=0x1000, capacity=8, padded_size=32, entry=None)
+        with pytest.raises(IndexError):
+            pool.addr_of(8)
+        with pytest.raises(ValueError):
+            pool.index_of(0xFFF)
+
+
+class TestAllocator:
+    def test_padded_objects_do_not_straddle_lines(self, runtime):
+        alloc = runtime.allocator(24, capacity=64)
+        for _ in range(32):
+            addr = alloc.allocate()
+            assert addr // 64 == (addr + 23) // 64
+
+    def test_dense_objects_may_straddle(self, runtime):
+        alloc = runtime.allocator(24, capacity=64, padding=False)
+        addrs = [alloc.allocate() for _ in range(32)]
+        straddlers = [a for a in addrs if a // 64 != (a + 23) // 64]
+        assert straddlers  # dense 24 B objects must cross lines sometimes
+
+    def test_allocations_distinct(self, runtime):
+        alloc = runtime.allocator(24, capacity=8)
+        addrs = {alloc.allocate() for _ in range(40)}  # spans multiple pools
+        assert len(addrs) == 40
+
+    def test_deallocate_reuses_address(self, runtime):
+        alloc = runtime.allocator(24, capacity=8)
+        addr = alloc.allocate()
+        alloc.deallocate(addr)
+        assert alloc.allocate() == addr
+
+    def test_deallocate_actor(self, runtime):
+        from repro.core.actor import Actor
+
+        class Obj(Actor):
+            SIZE = 24
+
+        alloc = runtime.allocator_for(Obj, capacity=8)
+        obj = alloc.allocate()
+        alloc.deallocate(obj)
+        assert alloc.allocate().addr == obj.addr
+
+    def test_deallocate_unallocated_rejected(self, runtime):
+        from repro.core.actor import Actor
+
+        class Obj(Actor):
+            SIZE = 24
+
+        alloc = runtime.allocator_for(Obj, capacity=8)
+        with pytest.raises(ValueError):
+            alloc.deallocate(Obj())
+
+    def test_compaction_registers_translation(self, runtime):
+        before = len(runtime.mapping)
+        alloc = runtime.allocator(24, capacity=8, compaction=True)
+        alloc.allocate()
+        assert len(runtime.mapping) == before + 1
+
+    def test_no_padding_no_translation(self, runtime):
+        before = len(runtime.mapping)
+        alloc = runtime.allocator(24, capacity=8, padding=False)
+        alloc.allocate()
+        assert len(runtime.mapping) == before
+
+    def test_large_objects_map_to_one_bank(self, runtime):
+        alloc = runtime.allocator(128, capacity=16)
+        hierarchy = runtime.machine.hierarchy
+        for _ in range(8):
+            addr = alloc.allocate()
+            lines = range(addr // 64, (addr + 127) // 64 + 1)
+            banks = {hierarchy.bank_of(line) for line in lines}
+            assert len(banks) == 1
+
+    def test_no_llc_mapping_spreads_banks(self, runtime):
+        alloc = runtime.allocator(128, capacity=16, llc_mapping=False)
+        hierarchy = runtime.machine.hierarchy
+        spread = 0
+        for _ in range(8):
+            addr = alloc.allocate()
+            lines = range(addr // 64, (addr + 127) // 64 + 1)
+            if len({hierarchy.bank_of(line) for line in lines}) > 1:
+                spread += 1
+        assert spread == 8  # consecutive lines interleave across banks
+
+    def test_fragmentation_accounting(self, runtime):
+        compacted = runtime.allocator(24, capacity=8, compaction=True)
+        padded = runtime.allocator(24, capacity=8, compaction=False)
+        assert compacted.fragmentation() == 0.0
+        assert padded.fragmentation() == pytest.approx(0.25)
+        assert compacted.dram_bytes_per_object() == 24
+        assert padded.dram_bytes_per_object() == 32
+
+    def test_allocate_array_contiguous_addresses(self, runtime):
+        alloc = runtime.allocator(8, capacity=64)
+        addrs = alloc.allocate_array(16)
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {8}
+
+    def test_capacity_validation(self, runtime):
+        with pytest.raises(ValueError):
+            Allocator(runtime, 8, capacity=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=st.integers(min_value=1, max_value=256))
+def test_property_padded_size_is_power_of_two_and_covers(size):
+    padded = padded_size_of(size)
+    assert padded >= size
+    assert padded & (padded - 1) == 0
+    # Padding never more than doubles the object (tight bound).
+    assert padded < 2 * size or size == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=200),
+    count=st.integers(min_value=1, max_value=40),
+)
+def test_property_padded_objects_line_aligned_groups(size, count):
+    """No padded object ever straddles a cache-line boundary."""
+    from repro.core.runtime import Leviathan
+    from repro.sim.config import small_config
+    from repro.sim.system import Machine
+
+    runtime = Leviathan(Machine(small_config()))
+    alloc = runtime.allocator(size, capacity=max(count, 4))
+    for _ in range(count):
+        addr = alloc.allocate()
+        first_line = addr // 64
+        last_line = (addr + size - 1) // 64
+        span = last_line - first_line + 1
+        # Either within one line, or line-aligned spanning whole lines.
+        if size <= 64:
+            assert span == 1
+        else:
+            assert addr % 64 == 0

@@ -1,0 +1,229 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import CacheLine, SetAssocCache
+
+
+def make_cache(sets=4, ways=2, policy="lru", shift=0):
+    return SetAssocCache(sets, ways, policy=policy, name="t", index_shift=shift)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x100) is None
+        cache.insert(0x100)
+        assert cache.lookup(0x100) is not None
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(5)
+        assert cache.contains(5)
+        assert not cache.contains(6)
+
+    def test_insert_existing_returns_none(self):
+        cache = make_cache()
+        cache.insert(5)
+        assert cache.insert(5) is None
+
+    def test_insert_merges_flags(self):
+        cache = make_cache()
+        cache.insert(5, dirty=False, morph=False)
+        cache.insert(5, dirty=True, morph=True)
+        entry = cache.lookup(5)
+        assert entry.dirty and entry.morph
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(5, dirty=True)
+        entry = cache.invalidate(5)
+        assert entry.dirty
+        assert not cache.contains(5)
+
+    def test_invalidate_missing_returns_none(self):
+        assert make_cache().invalidate(5) is None
+
+    def test_eviction_on_conflict(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(1)
+        cache.insert(2)
+        victim = cache.insert(3)
+        assert victim is not None
+        assert victim.line in (1, 2)
+
+    def test_capacity(self):
+        cache = make_cache(sets=4, ways=2)
+        assert cache.capacity_lines == 8
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(3, 2)  # non-power-of-two sets
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 0)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 2, policy="mru")
+
+
+class TestIndexShift:
+    def test_shift_moves_set_bits(self):
+        cache = make_cache(sets=4, shift=4)
+        # Lines differing only in the low 4 bits map to the same set.
+        assert cache.set_index(0x10) == cache.set_index(0x1F)
+        assert cache.set_index(0x10) != cache.set_index(0x20)
+
+    def test_banked_lines_spread_over_sets(self):
+        # Lines of one bank (line % 16 == 3) must use all sets when the
+        # shift skips the bank bits -- the regression behind the LLC
+        # set-aliasing bug.
+        cache = make_cache(sets=4, shift=4)
+        bank_lines = [3 + 16 * i for i in range(8)]
+        assert len({cache.set_index(l) for l in bank_lines}) == 4
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = make_cache(sets=1, ways=2, policy="lru")
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)  # make 2 the LRU
+        victim = cache.insert(3)
+        assert victim.line == 2
+
+    def test_touch_false_does_not_update(self):
+        cache = make_cache(sets=1, ways=2, policy="lru")
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1, touch=False)  # probe: 1 stays LRU
+        victim = cache.insert(3)
+        assert victim.line == 1
+
+
+class TestRrip:
+    def test_hit_protects_line(self):
+        cache = make_cache(sets=1, ways=2, policy="rrip")
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)  # rrpv -> 0
+        victim = cache.insert(3)
+        assert victim.line == 2
+
+    def test_aging_finds_victim(self):
+        cache = make_cache(sets=1, ways=2, policy="rrip")
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)
+        cache.lookup(2)
+        # Both at rrpv 0: aging must still produce a victim.
+        assert cache.insert(3) is not None
+
+
+class TestBrrip:
+    def test_scan_resistance(self):
+        """A sparsely-reused line survives a scan under BRRIP, not SRRIP."""
+
+        def run(policy):
+            cache = make_cache(sets=1, ways=4, policy=policy)
+            cache.insert(1000)
+            survived = 0
+            for i in range(128):
+                cache.insert(i)
+                if i % 8 == 0 and cache.contains(1000):
+                    cache.lookup(1000)  # occasional reuse of the hot line
+                if cache.contains(1000):
+                    survived += 1
+            return survived
+
+        assert run("brrip") > run("rrip")
+
+    def test_occasional_srrip_insertion(self):
+        cache = make_cache(sets=1, ways=4, policy="brrip")
+        rrpvs = set()
+        for i in range(64):
+            cache.insert(i)
+            entry = cache.lookup(i, touch=False)
+            if entry:
+                rrpvs.add(entry.rrpv)
+        assert SetAssocCache.RRIP_INSERT in rrpvs  # the 1/32 ramp-in path
+        assert SetAssocCache.RRIP_MAX in rrpvs
+
+
+class TestResidency:
+    def test_resident_lines(self):
+        cache = make_cache()
+        for line in (1, 2, 3):
+            cache.insert(line)
+        assert sorted(cache.resident_lines()) == [1, 2, 3]
+
+    def test_resident_in_range(self):
+        cache = make_cache()
+        for line in (1, 5, 9):
+            cache.insert(line)
+        assert sorted(cache.resident_in(2, 9)) == [5]
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=200),
+    sets=st.sampled_from([1, 2, 4, 8]),
+    ways=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(["lru", "rrip", "brrip"]),
+)
+def test_property_capacity_never_exceeded(lines, sets, ways, policy):
+    cache = SetAssocCache(sets, ways, policy=policy)
+    for line in lines:
+        cache.insert(line)
+        for cache_set in cache._sets:
+            assert len(cache_set) <= ways
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=200),
+    policy=st.sampled_from(["lru", "rrip", "brrip"]),
+)
+def test_property_insert_makes_resident(lines, policy):
+    cache = SetAssocCache(4, 4, policy=policy)
+    for line in lines:
+        cache.insert(line)
+        assert cache.contains(line)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60))
+def test_property_eviction_conservation(lines):
+    """Inserted lines are either resident or were returned as victims."""
+    cache = SetAssocCache(2, 2, policy="lru")
+    evicted = []
+    inserted = set()
+    for line in lines:
+        inserted.add(line)
+        victim = cache.insert(line)
+        if victim is not None:
+            evicted.append(victim.line)
+    resident = set(cache.resident_lines())
+    assert resident <= inserted
+    # No line is simultaneously resident twice (dict invariants).
+    assert len(list(cache.resident_lines())) == len(resident)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shift=st.integers(min_value=0, max_value=6),
+    line=st.integers(min_value=0, max_value=1 << 20),
+)
+def test_property_set_index_in_range(shift, line):
+    cache = SetAssocCache(8, 2, index_shift=shift)
+    assert 0 <= cache.set_index(line) < 8
+
+
+def test_cache_line_repr_flags():
+    line = CacheLine(0x40)
+    line.dirty = True
+    assert "D" in repr(line)
+    line.morph = True
+    assert "M" in repr(line)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface (using only fast experiments)."""
+
+import pytest
+
+import repro.experiments.cli as cli
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table4" in out
+
+    def test_default_is_list(self, capsys):
+        assert cli.main([]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_run_single_experiment(self, capsys):
+        assert cli.main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "32.8" in out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            cli.main(["fig99"])
+
+    def test_markdown_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert cli.main(["table1", "--markdown", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# Reproduced tables and figures")
+        assert "| paradigm |" in text
+        assert "leviathan-repro table1" in text
+
+    def test_failed_expectations_exit_nonzero(self, monkeypatch, capsys):
+        from repro.experiments import registry
+        from repro.experiments.runner import Experiment
+
+        def failing():
+            exp = Experiment(name="doomed", paper_reference="-")
+            exp.expect("impossible", "greater", 0.0, 1.0)
+            return exp
+
+        registry.register("doomed-test", failing, "always fails")
+        try:
+            assert cli.main(["doomed-test"]) == 1
+            assert cli.main(["doomed-test", "--no-check"]) == 0
+        finally:
+            registry._runners.pop("doomed-test", None)
+
+    def test_speedup_chart_printed(self, capsys):
+        assert cli.main(["ablation-compaction"]) == 0
+        # compaction rows carry no speedup -> no chart, still fine
+        out = capsys.readouterr().out
+        assert "fragmentation_pct" in out

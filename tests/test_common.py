@@ -1,0 +1,68 @@
+"""Unit tests for the shared workload result types."""
+
+import pytest
+
+from repro.workloads.common import RunResult, StudyResult
+
+
+def make_result(name, cycles, energy, functional=True):
+    return RunResult(
+        name=name,
+        cycles=cycles,
+        energy_pj=energy,
+        stats={"dram.accesses": 10},
+        functional=functional,
+        notes="" if functional else "broken layout",
+    )
+
+
+class TestRunResult:
+    def test_speedup_over(self):
+        base = make_result("base", 1000, 100)
+        fast = make_result("fast", 250, 60)
+        assert fast.speedup_over(base) == 4.0
+        assert base.speedup_over(base) == 1.0
+
+    def test_energy_savings_over(self):
+        base = make_result("base", 1000, 100)
+        lean = make_result("lean", 500, 75)
+        assert lean.energy_savings_over(base) == pytest.approx(0.25)
+
+    def test_non_functional_scores_zero(self):
+        base = make_result("base", 1000, 100)
+        broken = make_result("broken", float("inf"), float("inf"), functional=False)
+        assert broken.speedup_over(base) == 0.0
+        assert broken.energy_savings_over(base) == 0.0
+
+    def test_stat_accessor(self):
+        result = make_result("x", 1, 1)
+        assert result.stat("dram.accesses") == 10
+        assert result.stat("missing") == 0
+
+
+class TestStudyResult:
+    def make_study(self):
+        study = StudyResult(study="demo", baseline="base")
+        study.add(make_result("base", 1000, 100))
+        study.add(make_result("lev", 400, 70))
+        study.add(make_result("broken", float("inf"), float("inf"), functional=False))
+        return study
+
+    def test_speedups(self):
+        study = self.make_study()
+        assert study.speedups() == {"base": 1.0, "lev": 2.5, "broken": 0.0}
+
+    def test_energy_savings(self):
+        study = self.make_study()
+        assert study.energy_savings()["lev"] == pytest.approx(0.30)
+
+    def test_contains_and_getitem(self):
+        study = self.make_study()
+        assert "lev" in study
+        assert study["lev"].cycles == 400
+
+    def test_report_marks_broken_variants(self):
+        report = self.make_study().report()
+        assert "DOES NOT WORK" in report
+        assert "broken layout" in report
+        assert "2.50x" in report

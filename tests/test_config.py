@@ -1,0 +1,143 @@
+"""Unit tests for repro.sim.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    EngineConfig,
+    MemoryConfig,
+    NocConfig,
+    SystemConfig,
+    small_config,
+    _mesh_width,
+)
+
+
+class TestCacheConfig:
+    def test_lines(self):
+        cfg = CacheConfig(size_kb=32, ways=8, tag_latency=1, data_latency=2)
+        assert cfg.lines(64) == 512
+
+    def test_sets(self):
+        cfg = CacheConfig(size_kb=32, ways=8, tag_latency=1, data_latency=2)
+        assert cfg.sets(64) == 64
+
+    def test_hit_latency(self):
+        cfg = CacheConfig(size_kb=32, ways=8, tag_latency=3, data_latency=5)
+        assert cfg.hit_latency == 8
+
+
+class TestNocConfig:
+    def test_flit_bytes(self):
+        assert NocConfig().flit_bytes == 16
+
+    def test_flits_small_payload(self):
+        # 8 B payload = head flit + 1 payload flit.
+        assert NocConfig().flits(8) == 2
+
+    def test_flits_cache_line(self):
+        # 64 B payload = head + 4 payload flits.
+        assert NocConfig().flits(64) == 5
+
+    def test_hop_latency_zero_hops_is_cheap(self):
+        noc = NocConfig()
+        assert noc.hop_latency(0) == 1
+
+    def test_hop_latency_grows_with_distance(self):
+        noc = NocConfig()
+        assert noc.hop_latency(2) > noc.hop_latency(1) > noc.hop_latency(0)
+
+    def test_message_latency_serialization(self):
+        noc = NocConfig()
+        # Data messages pay tail-flit serialization; control packets less.
+        assert noc.message_latency(2, 64) > noc.message_latency(2, 8)
+
+    def test_local_message_no_serialization(self):
+        noc = NocConfig()
+        assert noc.message_latency(0, 64) == noc.hop_latency(0)
+
+
+class TestMemoryConfig:
+    def test_service_cycles(self):
+        mem = MemoryConfig()
+        assert mem.service_cycles(64) == pytest.approx(64 / 4.9)
+
+    def test_service_scales_with_bytes(self):
+        mem = MemoryConfig()
+        assert mem.service_cycles(128) == pytest.approx(2 * mem.service_cycles(64))
+
+
+class TestEngineConfig:
+    def test_context_split_prevents_deadlock(self):
+        # Contexts split evenly between offload and data-triggered.
+        cfg = EngineConfig(task_contexts=32)
+        assert cfg.offload_contexts == 16
+        assert cfg.triggered_contexts == 16
+
+    def test_odd_context_split(self):
+        cfg = EngineConfig(task_contexts=7)
+        assert cfg.offload_contexts + cfg.triggered_contexts == 7
+
+
+class TestSystemConfig:
+    def test_defaults_match_table5(self):
+        cfg = SystemConfig()
+        assert cfg.n_tiles == 16
+        assert cfg.l1.size_kb == 32
+        assert cfg.l2.size_kb == 128
+        assert cfg.llc.size_kb == 512
+        assert cfg.llc_total_kb == 8192
+        assert cfg.memory.controllers == 4
+        assert cfg.memory.latency == 100
+
+    def test_mesh_width_square(self):
+        assert SystemConfig(n_tiles=16).mesh_width == 4
+        assert SystemConfig(n_tiles=64).mesh_width == 8
+
+    def test_mesh_width_rectangular(self):
+        assert _mesh_width(8) == 4
+        assert _mesh_width(2) == 2
+
+    def test_rejects_non_power_of_two_tiles(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_tiles=12)
+
+    def test_rejects_more_controllers_than_tiles(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_tiles=4, memory=MemoryConfig(controllers=8))
+
+    def test_scaled_top_level_override(self):
+        cfg = SystemConfig().scaled(n_tiles=4)
+        assert cfg.n_tiles == 4
+
+    def test_scaled_nested_override(self):
+        cfg = SystemConfig().scaled(**{"core.invoke_buffer_entries": 8})
+        assert cfg.core.invoke_buffer_entries == 8
+
+    def test_scaled_does_not_mutate_original(self):
+        original = SystemConfig()
+        original.scaled(**{"core.invoke_buffer_entries": 99})
+        assert original.core.invoke_buffer_entries != 99
+
+    def test_scaled_unknown_field_raises(self):
+        with pytest.raises(AttributeError):
+            SystemConfig().scaled(bogus=1)
+        with pytest.raises(AttributeError):
+            SystemConfig().scaled(**{"core.bogus": 1})
+
+    def test_small_config_is_valid(self):
+        cfg = small_config()
+        assert cfg.n_tiles == 4
+        assert cfg.l1.size_kb < SystemConfig().l1.size_kb
+
+    def test_small_config_overrides(self):
+        cfg = small_config(**{"memory.fifo_lines": 4})
+        assert cfg.memory.fifo_lines == 4
+
+    def test_core_defaults(self):
+        core = CoreConfig()
+        assert core.ipc > 1
+        assert core.fence_penalty > 0

@@ -1,0 +1,68 @@
+"""Unit tests for the workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import uniform_indices, uniform_keys, zipfian_indices
+
+
+class TestZipf:
+    def test_range_and_count(self):
+        idx = zipfian_indices(100, 5000, seed=1)
+        assert len(idx) == 5000
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_skew_concentrates_mass(self):
+        idx = zipfian_indices(1000, 20000, skew=0.99, seed=1)
+        _, counts = np.unique(idx, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top 10% of items take far more than 10% of accesses.
+        assert counts[:100].sum() > 0.3 * len(idx)
+
+    def test_higher_skew_more_concentrated(self):
+        def top_share(skew):
+            idx = zipfian_indices(1000, 20000, skew=skew, seed=1)
+            _, counts = np.unique(idx, return_counts=True)
+            return np.sort(counts)[::-1][:10].sum()
+
+        assert top_share(1.2) > top_share(0.6)
+
+    def test_popularity_not_address_correlated(self):
+        """The hottest item should not always be item 0 (permutation)."""
+        hot = []
+        for seed in range(5):
+            idx = zipfian_indices(1000, 5000, seed=seed)
+            values, counts = np.unique(idx, return_counts=True)
+            hot.append(int(values[np.argmax(counts)]))
+        assert len(set(hot)) > 1
+
+    def test_deterministic(self):
+        a = zipfian_indices(100, 1000, seed=42)
+        b = zipfian_indices(100, 1000, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_indices(0, 10)
+        with pytest.raises(ValueError):
+            zipfian_indices(10, -1)
+
+
+class TestUniform:
+    def test_range(self):
+        idx = uniform_indices(50, 1000, seed=1)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_roughly_uniform(self):
+        idx = uniform_indices(10, 10000, seed=1)
+        _, counts = np.unique(idx, return_counts=True)
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_keys(self):
+        keys = uniform_keys(100, 1 << 20, seed=3)
+        assert len(keys) == 100
+        assert keys.max() < 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_indices(0, 10)

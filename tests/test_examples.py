@@ -1,0 +1,35 @@
+"""Every example under ``examples/`` runs and validates its own output.
+
+The examples are the public-API documentation; each asserts its
+functional result internally, so simply running ``main()`` is a strong
+integration test (and keeps the examples from rotting).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = load_example(name)
+    module.main()  # every example asserts its own correctness
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"

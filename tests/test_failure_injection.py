@@ -1,0 +1,129 @@
+"""Failure-injection tests: faults surface loudly and cleanly.
+
+A simulator that swallows application errors produces silently wrong
+results; these tests pin down the failure semantics: exceptions raised
+inside any program (core thread, engine task, data-triggered action)
+propagate out of ``machine.run()`` with their original type, and the
+machine never hangs or deadlocks on the way out.
+"""
+
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.core.morph import Morph
+from repro.core.offload import Invoke, Location
+from repro.core.stream import Stream, STREAM_END
+from repro.sim.ops import Compute, Load
+from tests.conftest import run_program
+
+
+class AppError(RuntimeError):
+    pass
+
+
+class TestCoreThreadFaults:
+    def test_exception_propagates_with_type(self, machine):
+        def prog():
+            yield Compute(1)
+            raise AppError("boom")
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(AppError, match="boom"):
+            machine.run()
+
+    def test_fault_after_memory_ops(self, machine):
+        def prog():
+            yield Load(0x10000, 8)
+            raise AppError("late")
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(AppError):
+            machine.run()
+        # The access before the fault was still accounted.
+        assert machine.stats["l1.accesses"] == 1
+
+    def test_machine_usable_after_fault(self, machine):
+        def bad():
+            raise AppError()
+            yield  # pragma: no cover
+
+        machine.spawn(bad(), tile=0)
+        with pytest.raises(AppError):
+            machine.run()
+
+        done = []
+
+        def good():
+            yield Compute(1)
+            done.append(True)
+
+        machine.spawn(good(), tile=0)
+        machine.run()
+        assert done == [True]
+
+
+class Faulty(Actor):
+    SIZE = 8
+
+    @action
+    def explode(self, env):
+        yield Compute(1)
+        raise AppError("engine-side")
+
+
+class TestEngineTaskFaults:
+    def test_offloaded_action_fault_propagates(self, machine, runtime):
+        actor = runtime.allocator_for(Faulty, capacity=4).allocate()
+
+        def prog():
+            yield Invoke(actor, "explode", location=Location.REMOTE)
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(AppError, match="engine-side"):
+            machine.run()
+
+    def test_inline_action_fault_propagates(self, machine, runtime):
+        actor = runtime.allocator_for(Faulty, capacity=4).allocate()
+
+        def prog():
+            yield Load(actor.addr, 8)  # cache it: DYNAMIC runs inline
+            yield Invoke(actor, "explode", location=Location.DYNAMIC)
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(AppError):
+            machine.run()
+
+
+class FaultyMorph(Morph):
+    def construct(self, view, index):
+        yield Compute(1)
+        raise AppError("constructor")
+
+
+class TestDataTriggeredFaults:
+    def test_constructor_fault_propagates_through_fill(self, machine, runtime):
+        morph = FaultyMorph(runtime, "l2", 16, 8)
+        machine.spawn(iter_to_gen([Load(morph.get_actor_addr(0), 8)]), tile=0)
+        with pytest.raises(AppError, match="constructor"):
+            machine.run()
+
+
+class FaultyStream(Stream):
+    def gen_stream(self, env):
+        yield from self.push(1)
+        raise AppError("producer")
+
+
+class TestStreamFaults:
+    def test_producer_fault_propagates(self, machine, runtime):
+        stream = FaultyStream(
+            runtime, object_size=8, buffer_entries=16, consumer_tile=0
+        )
+        stream.start()
+        with pytest.raises(AppError, match="producer"):
+            machine.run()
+
+
+def iter_to_gen(ops):
+    for op in ops:
+        yield op

@@ -1,0 +1,165 @@
+"""Unit tests for the very-large-object fallbacks (Sec. VI-C)."""
+
+import pytest
+
+from repro.core.fallback import (
+    MallocAllocator,
+    PagedMorph,
+    ThreadPairStream,
+    exceeds_hardware_limit,
+)
+from repro.sim.ops import Compute
+from tests.conftest import run_program
+
+
+class TestLimitCheck:
+    def test_within_limit(self, config):
+        assert not exceeds_hardware_limit(256, config)
+
+    def test_beyond_limit(self, config):
+        assert exceeds_hardware_limit(257, config)
+        assert exceeds_hardware_limit(4096, config)
+
+
+class TestAutoAllocator:
+    def test_small_objects_get_full_treatment(self, runtime):
+        from repro.core.allocator import Allocator
+
+        alloc = runtime.allocator_auto(24)
+        assert isinstance(alloc, Allocator)
+        assert alloc.padded_size == 32
+
+    def test_large_objects_fall_back_to_malloc(self, runtime):
+        alloc = runtime.allocator_auto(4096)
+        assert isinstance(alloc, MallocAllocator)
+        assert runtime.machine.stats["allocator.fallbacks"] == 1
+
+    def test_both_provide_same_interface(self, runtime):
+        for size in (24, 4096):
+            alloc = runtime.allocator_auto(size)
+            addr = alloc.allocate()
+            assert isinstance(addr, int)
+            alloc.deallocate(addr)
+            assert alloc.fragmentation() >= 0.0
+
+
+class TestMallocAllocator:
+    def test_line_aligned(self, runtime):
+        alloc = MallocAllocator(runtime, 1000)
+        addr = alloc.allocate()
+        assert addr % 64 == 0
+
+    def test_padded_in_dram(self, runtime):
+        alloc = MallocAllocator(runtime, 1000)
+        assert alloc.dram_bytes_per_object() == 1024
+        assert alloc.fragmentation() == pytest.approx(24 / 1024)
+
+    def test_no_translation_entry(self, runtime):
+        before = len(runtime.mapping)
+        MallocAllocator(runtime, 1000).allocate()
+        assert len(runtime.mapping) == before
+
+    def test_objects_spread_across_banks(self, runtime):
+        alloc = MallocAllocator(runtime, 1000)
+        addr = alloc.allocate()
+        hierarchy = runtime.machine.hierarchy
+        lines = range(addr // 64, (addr + 999) // 64 + 1)
+        assert len({hierarchy.bank_of(line) for line in lines}) > 1
+
+
+class TestPagedMorph:
+    def test_first_touch_constructs_page(self, machine, runtime):
+        constructed = []
+
+        def ctor(index):
+            constructed.append(index)
+            yield Compute(1)
+
+        morph = PagedMorph(runtime, n_actors=100, object_size=512, construct=ctor)
+
+        def prog():
+            yield from morph.touch(3)
+
+        run_program(machine, prog())
+        # 4096 / 512 = 8 objects per page.
+        assert constructed == list(range(8))
+        assert machine.stats["fallback.page_constructions"] == 1
+
+    def test_second_touch_free(self, machine, runtime):
+        count = []
+
+        def ctor(index):
+            count.append(index)
+            yield Compute(1)
+
+        morph = PagedMorph(runtime, n_actors=100, object_size=512, construct=ctor)
+
+        def prog():
+            yield from morph.touch(0)
+            yield from morph.touch(1)  # same page
+
+        run_program(machine, prog())
+        assert len(count) == 8
+
+    def test_evict_all_runs_destructors(self, machine, runtime):
+        destructed = []
+
+        def dtor(index):
+            destructed.append(index)
+            yield Compute(1)
+
+        morph = PagedMorph(runtime, n_actors=16, object_size=512, destruct=dtor)
+
+        def prog():
+            yield from morph.touch(0)
+            yield from morph.evict_all()
+
+        run_program(machine, prog())
+        assert destructed == list(range(8))
+        assert machine.stats["fallback.page_destructions"] == 1
+
+    def test_actor_addr(self, runtime):
+        morph = PagedMorph(runtime, n_actors=16, object_size=512)
+        assert morph.actor_addr(2) - morph.actor_addr(0) == 1024
+
+
+class TestThreadPairStream:
+    def test_end_to_end(self, machine, runtime):
+        stream = ThreadPairStream(
+            runtime, object_size=512, buffer_entries=4, producer_tile=0, consumer_tile=1
+        )
+        got = []
+
+        def producer():
+            for i in range(20):
+                yield from stream.push(i)
+            stream.close()
+
+        def consumer():
+            while True:
+                value = yield from stream.pop()
+                if value is ThreadPairStream.END:
+                    return
+                got.append(value)
+
+        machine.spawn(producer(), tile=0)
+        machine.spawn(consumer(), tile=1)
+        machine.run()
+        assert got == list(range(20))
+
+    def test_runs_on_cores_not_engines(self, machine, runtime):
+        stream = ThreadPairStream(
+            runtime, object_size=512, buffer_entries=4, producer_tile=0, consumer_tile=1
+        )
+
+        def producer():
+            yield from stream.push(1)
+            stream.close()
+
+        def consumer():
+            yield from stream.pop()
+
+        machine.spawn(producer(), tile=0)
+        machine.spawn(consumer(), tile=1)
+        machine.run()
+        assert machine.stats["engine.instructions"] == 0

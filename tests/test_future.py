@@ -1,0 +1,107 @@
+"""Unit tests for Futures and the store-update mechanism."""
+
+import pytest
+
+from repro.core.future import Future, WaitFuture
+from repro.sim.ops import Sleep
+from repro.sim.scheduler import SimDeadlock
+
+
+class TestFuture:
+    def test_fill_then_wait(self, machine):
+        future = Future(machine, home_tile=0)
+        results = []
+
+        def filler():
+            yield Sleep(10)
+            future.fill("value", from_tile=2)
+
+        def waiter():
+            value = yield WaitFuture(future)
+            results.append((value, machine.now))
+
+        machine.spawn(filler(), tile=2)
+        machine.spawn(waiter(), tile=0)
+        machine.run()
+        assert results[0][0] == "value"
+        # The store-update message takes NoC time after the fill.
+        assert results[0][1] > 10
+
+    def test_wait_before_fill_parks(self, machine):
+        future = Future(machine, home_tile=0)
+        order = []
+
+        def waiter():
+            value = yield WaitFuture(future)
+            order.append(("got", value))
+
+        def filler():
+            yield Sleep(100)
+            order.append(("filling", None))
+            future.fill(42, from_tile=1)
+
+        machine.spawn(waiter(), tile=0)
+        machine.spawn(filler(), tile=1)
+        machine.run()
+        assert order == [("filling", None), ("got", 42)]
+
+    def test_wait_after_fill_returns_immediately(self, machine):
+        future = Future(machine, home_tile=0)
+        future.fill(7, from_tile=3)
+        results = []
+
+        def waiter():
+            value = yield WaitFuture(future)
+            results.append(value)
+
+        machine.spawn(waiter(), tile=0)
+        machine.run()
+        assert results == [7]
+
+    def test_double_fill_rejected(self, machine):
+        future = Future(machine, home_tile=0)
+        future.fill(1, from_tile=0)
+        with pytest.raises(RuntimeError):
+            future.fill(2, from_tile=0)
+
+    def test_fill_accounts_noc_message(self, machine):
+        future = Future(machine, home_tile=0)
+        snap = machine.stats.snapshot()
+        future.fill(1, from_tile=3)
+        diff = machine.stats.diff(snap)
+        assert diff.get("noc.messages", 0) == 1
+        assert diff.get("future.fills", 0) == 1
+
+    def test_unfilled_future_deadlocks(self, machine):
+        future = Future(machine, home_tile=0)
+
+        def waiter():
+            yield WaitFuture(future)
+
+        machine.spawn(waiter(), tile=0)
+        with pytest.raises(SimDeadlock):
+            machine.run()
+
+    def test_multiple_waiters_all_wake(self, machine):
+        future = Future(machine, home_tile=0)
+        got = []
+
+        def waiter():
+            value = yield WaitFuture(future)
+            got.append(value)
+
+        def filler():
+            yield Sleep(5)
+            future.fill("x", from_tile=1)
+
+        machine.spawn(waiter(), tile=0)
+        machine.spawn(waiter(), tile=0)
+        machine.spawn(filler(), tile=1)
+        machine.run()
+        assert got == ["x", "x"]
+
+    def test_repr(self, machine):
+        future = Future(machine, home_tile=2)
+        assert "pending" in repr(future)
+        future.fill(9, from_tile=0)
+        assert "9" in repr(future)

@@ -1,0 +1,160 @@
+"""Unit and property tests for the graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.graphs import Graph, community_graph, uniform_graph
+
+
+def check_csr_invariants(graph):
+    assert graph.offsets[0] == 0
+    assert graph.offsets[-1] == graph.n_edges
+    assert np.all(np.diff(graph.offsets) >= 0)
+    assert np.all(graph.neighbors >= 0)
+    assert np.all(graph.neighbors < graph.n_vertices)
+    assert graph.out_degree.sum() == graph.n_edges
+
+
+class TestUniformGraph:
+    def test_shape(self):
+        graph = uniform_graph(100, 500, seed=1)
+        assert graph.n_vertices == 100
+        assert graph.n_edges == 500
+        check_csr_invariants(graph)
+
+    def test_no_self_loops(self):
+        graph = uniform_graph(50, 400, seed=2)
+        for src, dst in graph.edges():
+            assert src != dst
+
+    def test_deterministic(self):
+        a = uniform_graph(64, 256, seed=3)
+        b = uniform_graph(64, 256, seed=3)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert np.array_equal(a.offsets, b.offsets)
+
+    def test_seed_changes_graph(self):
+        a = uniform_graph(64, 256, seed=3)
+        b = uniform_graph(64, 256, seed=4)
+        assert not np.array_equal(a.neighbors, b.neighbors)
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            uniform_graph(1, 10)
+
+    def test_in_neighbors(self):
+        graph = uniform_graph(20, 100, seed=5)
+        for v in range(20):
+            assert len(graph.in_neighbors(v)) == graph.in_degree(v)
+
+    def test_edges_iterates_all(self):
+        graph = uniform_graph(20, 100, seed=5)
+        assert sum(1 for _ in graph.edges()) == 100
+
+
+class TestCommunityGraph:
+    def test_shape(self):
+        graph = community_graph(200, 1000, seed=1)
+        check_csr_invariants(graph)
+        assert graph.n_edges == 1000
+
+    def test_community_structure_measurable(self):
+        """Neighborhoods overlap far more than in a uniform graph."""
+
+        def neighborhood_overlap(graph):
+            # Average Jaccard-ish overlap between the in-neighbor sets
+            # of endpoints of edges: high in community graphs.
+            total, count = 0.0, 0
+            for dst in range(0, graph.n_vertices, 7):
+                mine = set(graph.in_neighbors(dst).tolist())
+                if not mine:
+                    continue
+                for src in list(mine)[:3]:
+                    theirs = set(graph.in_neighbors(int(src)).tolist())
+                    if theirs:
+                        union = mine | theirs
+                        total += len(mine & theirs) / len(union)
+                        count += 1
+            return total / max(count, 1)
+
+        comm = community_graph(
+            256, 4096, n_communities=8, intra_fraction=0.95, seed=7
+        )
+        unif = uniform_graph(256, 4096, seed=7)
+        assert neighborhood_overlap(comm) > 2 * neighborhood_overlap(unif)
+
+    def test_explicit_community_count(self):
+        graph = community_graph(100, 500, n_communities=5, seed=2)
+        check_csr_invariants(graph)
+
+    def test_intra_fraction_zero_is_uniform_like(self):
+        graph = community_graph(100, 500, intra_fraction=0.0, seed=2)
+        check_csr_invariants(graph)
+
+    def test_deterministic(self):
+        a = community_graph(100, 500, seed=9)
+        b = community_graph(100, 500, seed=9)
+        assert np.array_equal(a.neighbors, b.neighbors)
+
+    def test_locality_advantage_of_bdfs(self):
+        """The reason HATS works: BDFS order has better LRU locality on
+        source accesses than layout order, on a community graph."""
+        from collections import OrderedDict
+
+        graph = community_graph(512, 8192, n_communities=16, intra_fraction=0.95, seed=3)
+
+        def lru_misses(sequence, capacity):
+            cache = OrderedDict()
+            misses = 0
+            for item in sequence:
+                if item in cache:
+                    cache.move_to_end(item)
+                else:
+                    misses += 1
+                    cache[item] = True
+                    if len(cache) > capacity:
+                        cache.popitem(last=False)
+            return misses
+
+        csr_sources = [int(s) for s, _ in graph.edges()]
+        # A bounded DFS over the same graph.
+        active = np.ones(graph.n_vertices, dtype=bool)
+        bdfs_sources = []
+        for root in range(graph.n_vertices):
+            if not active[root]:
+                continue
+            active[root] = False
+            stack = [root]
+            while stack:
+                dst = stack.pop()
+                for src in graph.in_neighbors(dst):
+                    src = int(src)
+                    bdfs_sources.append(src)
+                    if len(stack) < 8 and active[src]:
+                        active[src] = False
+                        stack.append(src)
+        assert lru_misses(bdfs_sources, 64) < lru_misses(csr_sources, 64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_vertices=st.integers(min_value=4, max_value=128),
+    n_edges=st.integers(min_value=1, max_value=512),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_uniform_graph_invariants(n_vertices, n_edges, seed):
+    graph = uniform_graph(n_vertices, n_edges, seed=seed)
+    check_csr_invariants(graph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_vertices=st.integers(min_value=8, max_value=128),
+    n_edges=st.integers(min_value=8, max_value=512),
+    intra=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_community_graph_invariants(n_vertices, n_edges, intra, seed):
+    graph = community_graph(n_vertices, n_edges, intra_fraction=intra, seed=seed)
+    check_csr_invariants(graph)

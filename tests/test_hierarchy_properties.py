@@ -1,0 +1,185 @@
+"""Property-based invariants of the memory hierarchy.
+
+Random multi-tile access sequences must preserve:
+
+- **inclusion**: every line in a private L1/L2 (except tile-private
+  phantom lines) is present in the LLC;
+- **directory consistency**: the directory's sharer set covers every
+  tile that holds the line privately, and a modified owner is unique;
+- **value conservation** (with morphs): every update applied to a
+  phantom object is eventually visible after a flush -- none are lost
+  to eviction/construction races.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.morph import Morph
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import AtomicRMW, Compute, Load, Store
+from repro.sim.system import Machine
+
+
+def check_inclusion(machine):
+    hierarchy = machine.hierarchy
+    for tile in range(machine.config.n_tiles):
+        for cache in (hierarchy.l1[tile], hierarchy.l2[tile], hierarchy.engine_l1[tile]):
+            for line in cache.resident_lines():
+                entry = cache.lookup(line, touch=False)
+                if entry.morph:
+                    continue  # tile-private phantom (L2-level morph) lines
+                if hierarchy.hooks.morph_level(line) == "l2":
+                    continue
+                assert hierarchy.llc_has(line), (
+                    f"inclusion violated: line {line:#x} in {cache.name} "
+                    "but not in the LLC"
+                )
+
+
+def check_directory(machine):
+    hierarchy = machine.hierarchy
+    n_tiles = machine.config.n_tiles
+    lines = set()
+    for tile in range(n_tiles):
+        for cache in (hierarchy.l1[tile], hierarchy.l2[tile], hierarchy.engine_l1[tile]):
+            lines.update(cache.resident_lines())
+    for line in lines:
+        if hierarchy.hooks.morph_level(line) == "l2":
+            continue
+        holders = {
+            t
+            for t in range(n_tiles)
+            if hierarchy.tile_has_private(t, line)
+        }
+        sharers = hierarchy.dir.sharers_of(line)
+        assert holders <= sharers, (
+            f"directory under-tracks line {line:#x}: holders {holders}, "
+            f"sharers {sharers}"
+        )
+
+
+ACCESS_SEQ = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # tile
+        st.integers(min_value=0, max_value=255),  # object index
+        st.booleans(),  # write?
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ACCESS_SEQ)
+def test_property_inclusion_and_directory(ops):
+    machine = Machine(small_config())
+    base = 0x8_0000
+
+    def thread(tile, accesses):
+        for index, is_write in accesses:
+            addr = base + index * 8
+            if is_write:
+                yield Store(addr, 8)
+            else:
+                yield Load(addr, 8)
+            yield Compute(1)
+
+    per_tile = {t: [] for t in range(4)}
+    for tile, index, is_write in ops:
+        per_tile[tile].append((index, is_write))
+    for tile, accesses in per_tile.items():
+        if accesses:
+            machine.spawn(thread(tile, accesses), tile=tile)
+    machine.run()
+    check_inclusion(machine)
+    check_directory(machine)
+
+
+class _SumMorph(Morph):
+    """Phantom accumulators whose destructor banks values losslessly."""
+
+    def __init__(self, runtime, n):
+        super().__init__(runtime, "llc", n, 8, name="sum-morph")
+        self.banked = np.zeros(n)
+
+    def construct(self, view, index):
+        self.machine.mem[self.get_actor_addr(index)] = 0.0
+        yield Compute(1)
+
+    def destruct(self, view, index, dirty):
+        value = self.machine.mem.get(self.get_actor_addr(index), 0.0)
+        if value:
+            self.banked[index] += value
+            self.machine.mem[self.get_actor_addr(index)] = 0.0
+            yield Compute(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # tile
+            st.integers(min_value=0, max_value=63),  # object
+        ),
+        min_size=1,
+        max_size=150,
+    ),
+    fenced=st.booleans(),
+)
+def test_property_no_update_lost_through_morph(updates, fenced):
+    """The PHI correctness property: every atomic update to phantom data
+    survives arbitrary eviction/construction interleavings."""
+    machine = Machine(small_config())
+    runtime = Leviathan(machine)
+    morph = _SumMorph(runtime, 64)
+
+    def thread(tile, targets):
+        mem = machine.mem
+        for index in targets:
+            addr = morph.get_actor_addr(index)
+            yield AtomicRMW(
+                addr,
+                8,
+                fenced=fenced,
+                apply=lambda a=addr: mem.__setitem__(a, mem.get(a, 0.0) + 1.0),
+            )
+
+    per_tile = {t: [] for t in range(4)}
+    expected = np.zeros(64)
+    for tile, index in updates:
+        per_tile[tile].append(index)
+        expected[index] += 1.0
+    for tile, targets in per_tile.items():
+        if targets:
+            machine.spawn(thread(tile, targets), tile=tile)
+    machine.run()
+    morph.unregister()
+    assert np.allclose(morph.banked, expected), "updates lost or duplicated"
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ACCESS_SEQ)
+def test_property_latency_and_energy_nonnegative_and_deterministic(ops):
+    def run():
+        machine = Machine(small_config())
+        base = 0x8_0000
+
+        def thread(tile, accesses):
+            for index, is_write in accesses:
+                addr = base + index * 8
+                yield Store(addr, 8) if is_write else Load(addr, 8)
+
+        per_tile = {t: [] for t in range(4)}
+        for tile, index, is_write in ops:
+            per_tile[tile].append((index, is_write))
+        for tile, accesses in per_tile.items():
+            if accesses:
+                machine.spawn(thread(tile, accesses), tile=tile)
+        final = machine.run()
+        return final, machine.energy_pj()
+
+    t1, e1 = run()
+    t2, e2 = run()
+    assert t1 >= 0 and e1 >= 0
+    assert (t1, e1) == (t2, e2)

@@ -1,0 +1,249 @@
+"""Integration tests: paradigms composed on one machine (Sec. V-B4).
+
+The paper's central claim is that Leviathan is the first system where
+all four NDC paradigms coexist and *interact*. These tests build small
+multi-paradigm applications end to end:
+
+- PHI + streaming: a stream of graph edges feeds offloaded RMW tasks
+  that target data-triggered phantom deltas (the combination Sec. V-B4
+  proposes: "further combine PHI with streaming by decoupling the graph
+  traversal").
+- offload + data-triggered: tasks whose target objects are phantom.
+- every paradigm concurrently on one machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.core.future import Future, WaitFuture
+from repro.core.morph import Morph
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.core.stream import Stream, STREAM_END
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+
+
+class DeltaMorph(Morph):
+    """Phantom accumulators, zero-filled on insertion."""
+
+    def __init__(self, runtime, n):
+        super().__init__(runtime, "llc", n, 8, name="it-deltas")
+        self.final = {}
+
+    def construct(self, view, index):
+        self.machine.mem[self.get_actor_addr(index)] = 0.0
+        yield Compute(1)
+
+    def destruct(self, view, index, dirty):
+        if dirty:
+            value = self.machine.mem.get(self.get_actor_addr(index), 0.0)
+            if value:
+                self.final[index] = self.final.get(index, 0.0) + value
+                self.machine.mem[self.get_actor_addr(index)] = 0.0
+                yield Compute(1)
+
+
+class DeltaActor(Actor):
+    SIZE = 8
+
+    @action
+    def add(self, env, amount):
+        mem = env.machine.mem
+        yield Store(
+            self.addr,
+            8,
+            apply=lambda: mem.__setitem__(self.addr, mem.get(self.addr, 0.0) + amount),
+        )
+
+
+class EdgeStream(Stream):
+    def __init__(self, runtime, edges, **kwargs):
+        self.edges = edges
+        super().__init__(
+            runtime, object_size=8, buffer_entries=32, consumer_tile=0, **kwargs
+        )
+
+    def gen_stream(self, env):
+        for edge in self.edges:
+            yield Compute(2)
+            yield from self.push(edge)
+
+
+class TestPhiPlusStreaming:
+    """A stream produces updates; offloaded tasks apply them to phantom
+    deltas; destructors spill them -- all four paradigm mechanisms."""
+
+    def test_stream_feeding_offloaded_rmws_on_phantom_data(self):
+        machine = Machine(small_config())
+        runtime = Leviathan(machine)
+        n = 64
+        rng = np.random.default_rng(3)
+        edges = [(int(rng.integers(0, n)), 1.0) for _ in range(300)]
+
+        morph = DeltaMorph(runtime, n)
+        actors = []
+        for v in range(n):
+            actor = DeltaActor()
+            actor.addr = morph.get_actor_addr(v)
+            actors.append(actor)
+
+        stream = EdgeStream(runtime, edges)
+        stream.start()
+
+        def consumer():
+            while True:
+                entry = yield from stream.consume()
+                if entry is STREAM_END:
+                    return
+                vertex, amount = entry
+                yield Invoke(actors[vertex], "add", (amount,), location=Location.REMOTE)
+
+        machine.spawn(consumer(), tile=0, name="consumer")
+        machine.run()
+        morph.unregister()
+
+        expected = np.zeros(n)
+        for vertex, amount in edges:
+            expected[vertex] += amount
+        got = np.zeros(n)
+        for vertex, value in morph.final.items():
+            got[vertex] += value
+        assert np.allclose(got, expected)
+        # All mechanisms actually engaged.
+        assert machine.stats["stream.pushes"] == len(edges)
+        assert machine.stats["engine.tasks"] >= len(edges)
+        assert machine.stats["morph.llc_constructions"] > 0
+
+
+class TestOffloadPlusDataTriggered:
+    def test_invoke_targeting_phantom_actor(self):
+        machine = Machine(small_config())
+        runtime = Leviathan(machine)
+        morph = DeltaMorph(runtime, 16)
+        actor = DeltaActor()
+        actor.addr = morph.get_actor_addr(5)
+
+        def prog():
+            for _ in range(10):
+                yield Invoke(actor, "add", (2.0,), location=Location.REMOTE)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        morph.unregister()
+        assert morph.final.get(5, 0.0) == pytest.approx(20.0)
+
+
+class TestLongLivedPlusFutures:
+    def test_long_lived_pinned_task_reports_back(self):
+        machine = Machine(small_config())
+        runtime = Leviathan(machine)
+
+        class Scanner(Actor):
+            SIZE = 8
+
+            @action
+            def scan(self, env, base, count):
+                total = 0
+                for i in range(count):
+                    yield Load(base + i * 8, 8)
+                    yield Compute(1)
+                    total += env.machine.mem.get(base + i * 8, 0)
+                return total
+
+        base = machine.address_space.alloc(64 * 8, align=64)
+        for i in range(64):
+            machine.mem[base + i * 8] = i
+        alloc = runtime.allocator_for(Scanner, capacity=4)
+        scanner = alloc.allocate()
+        got = []
+
+        def prog():
+            future = yield Invoke(
+                scanner, "scan", (base, 64), tile=3, with_future=True, args_bytes=16
+            )
+            value = yield WaitFuture(future)
+            got.append(value)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        assert got == [sum(range(64))]
+
+
+class TestAllParadigmsConcurrently:
+    def test_kitchen_sink(self):
+        """Offload, long-lived, data-triggered, and streaming at once."""
+        machine = Machine(small_config())
+        runtime = Leviathan(machine)
+
+        # Data-triggered + offload.
+        morph = DeltaMorph(runtime, 32)
+        actor = DeltaActor()
+        actor.addr = morph.get_actor_addr(0)
+
+        # Streaming.
+        stream = EdgeStream(runtime, [(i % 32, 1.0) for i in range(100)])
+        stream.start()
+        consumed = []
+
+        def stream_consumer():
+            while True:
+                entry = yield from stream.consume()
+                if entry is STREAM_END:
+                    return
+                consumed.append(entry)
+
+        # Long-lived pinned worker.
+        class Worker(Actor):
+            SIZE = 8
+
+            @action
+            def churn(self, env):
+                for _ in range(50):
+                    yield Compute(10)
+                return "done"
+
+        alloc = runtime.allocator_for(Worker, capacity=2)
+        worker = alloc.allocate()
+        statuses = []
+
+        def launcher():
+            future = yield Invoke(worker, "churn", tile=2, with_future=True)
+            for _ in range(20):
+                yield Invoke(actor, "add", (1.0,), location=Location.REMOTE)
+            status = yield WaitFuture(future)
+            statuses.append(status)
+
+        machine.spawn(stream_consumer(), tile=0)
+        machine.spawn(launcher(), tile=1)
+        machine.run()
+        morph.unregister()
+
+        assert len(consumed) == 100
+        assert statuses == ["done"]
+        assert morph.final.get(0, 0.0) == pytest.approx(20.0)
+
+    def test_deterministic_multi_paradigm(self):
+        def run_once():
+            machine = Machine(small_config())
+            runtime = Leviathan(machine)
+            morph = DeltaMorph(runtime, 16)
+            actor = DeltaActor()
+            actor.addr = morph.get_actor_addr(3)
+            stream = EdgeStream(runtime, [(3, 1.0)] * 40)
+            stream.start()
+
+            def consumer():
+                while True:
+                    entry = yield from stream.consume()
+                    if entry is STREAM_END:
+                        return
+                    yield Invoke(actor, "add", (entry[1],), location=Location.REMOTE)
+
+            machine.spawn(consumer(), tile=0)
+            final = machine.run()
+            return final, dict(machine.stats.counters)
+
+        assert run_once() == run_once()

@@ -1,0 +1,127 @@
+"""Unit and property tests for LLC mapping and DRAM compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import MappingRegistry, TranslationEntry
+
+
+def entry_24B(base=0x1000, capacity=64, dram_base=0x40000000):
+    return TranslationEntry(
+        cache_base=base,
+        cache_bound=base + capacity * 32,
+        dram_base=dram_base,
+        object_size=24,
+        padded_size=32,
+    )
+
+
+class TestTranslationEntry:
+    def test_contains(self):
+        entry = entry_24B()
+        assert entry.contains(0x1000)
+        assert not entry.contains(0x1000 + 64 * 32)
+
+    def test_first_object_maps_to_dram_base(self):
+        entry = entry_24B()
+        assert entry.to_dram(0x1000) == 0x40000000
+
+    def test_objects_pack_densely(self):
+        entry = entry_24B()
+        # Object 1 starts at padded offset 32 but DRAM offset 24.
+        assert entry.to_dram(0x1000 + 32) == 0x40000000 + 24
+
+    def test_padding_bytes_clamp_into_object(self):
+        entry = entry_24B()
+        # Byte 31 (padding) maps onto the object's last byte (23).
+        assert entry.to_dram(0x1000 + 31) == 0x40000000 + 23
+
+    def test_monotonic(self):
+        entry = entry_24B()
+        addrs = [entry.to_dram(0x1000 + i) for i in range(0, 64 * 32, 8)]
+        assert addrs == sorted(addrs)
+
+    def test_bank_shift_by_size(self):
+        def shift(padded):
+            return TranslationEntry(0, 1024 * padded, 0, padded, padded).bank_shift
+
+        assert shift(32) == 0
+        assert shift(64) == 0
+        assert shift(128) == 1
+        assert shift(256) == 2
+
+
+class TestMappingRegistry:
+    def test_find(self):
+        reg = MappingRegistry()
+        entry = reg.register(entry_24B())
+        assert reg.find(0x1000) is entry
+        assert reg.find(0xFFF) is None
+
+    def test_overlap_rejected(self):
+        reg = MappingRegistry()
+        reg.register(entry_24B(base=0x1000))
+        with pytest.raises(ValueError):
+            reg.register(entry_24B(base=0x1100))
+
+    def test_empty_entry_rejected(self):
+        reg = MappingRegistry()
+        with pytest.raises(ValueError):
+            reg.register(TranslationEntry(0x1000, 0x1000, 0, 8, 8))
+
+    def test_unregister(self):
+        reg = MappingRegistry()
+        entry = reg.register(entry_24B())
+        reg.unregister(entry)
+        assert reg.find(0x1000) is None
+        with pytest.raises(KeyError):
+            reg.unregister(entry)
+
+    def test_identity_translation_outside_pools(self):
+        reg = MappingRegistry()
+        assert reg.translate(12345) == (12345,)
+        assert reg.bank_shift(12345) == 0
+
+    def test_compacted_lines_share_dram_lines(self):
+        reg = MappingRegistry()
+        reg.register(entry_24B(base=0x1000))
+        # Cache line 1 of the pool (objects 2..3 at 24 B each in DRAM)
+        # maps into DRAM bytes 48..95: spans DRAM line boundary only as
+        # the math dictates.
+        line0 = 0x1000 // 64
+        line1 = line0 + 1
+        dram0 = reg.translate(line0)
+        dram1 = reg.translate(line1)
+        # Adjacent cache lines overlap in DRAM (compaction).
+        assert set(dram0) & set(dram1)
+
+    def test_bank_shift_for_large_pool(self):
+        reg = MappingRegistry()
+        reg.register(
+            TranslationEntry(0x8000, 0x8000 + 16 * 128, 0x50000000, 100, 128)
+        )
+        assert reg.bank_shift(0x8000 // 64) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    object_size=st.integers(min_value=1, max_value=64),
+    offset=st.integers(min_value=0, max_value=2047),
+)
+def test_property_translation_stays_in_dram_pool(object_size, offset):
+    padded = 1
+    while padded < object_size:
+        padded *= 2
+    capacity = 64
+    entry = TranslationEntry(0, capacity * padded, 0x1000, object_size, padded)
+    addr = min(offset, capacity * padded - 1)
+    dram = entry.to_dram(addr)
+    assert 0x1000 <= dram < 0x1000 + capacity * object_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(min_value=0, max_value=2047), b=st.integers(min_value=0, max_value=2047))
+def test_property_translation_monotonic(a, b):
+    entry = entry_24B(base=0)
+    a, b = min(a, b), max(a, b)
+    assert entry.to_dram(a) <= entry.to_dram(b)

@@ -1,0 +1,157 @@
+"""Unit tests for data-triggered actions (Morphs)."""
+
+import pytest
+
+from repro.core.morph import Morph, MorphLayoutError, MorphView
+from repro.sim.ops import Compute, Load, Store
+from tests.conftest import run_program
+
+
+class RecordingMorph(Morph):
+    """Zero-fills on construction; records every ctor/dtor call."""
+
+    def __init__(self, runtime, n_actors=32, object_size=8, level="l2", **kwargs):
+        self.constructions = []
+        self.destructions = []
+        super().__init__(runtime, level, n_actors, object_size, **kwargs)
+
+    def construct(self, view, index):
+        self.constructions.append((view.tile, index))
+        self.machine.mem[self.get_actor_addr(index)] = index * 10
+        yield Compute(1)
+
+    def destruct(self, view, index, dirty):
+        self.destructions.append((view.tile, index, dirty))
+        yield Compute(1)
+
+
+class TestRegistration:
+    def test_registered_on_creation(self, runtime):
+        morph = RecordingMorph(runtime)
+        assert morph.registered
+        assert morph in runtime.morphs
+
+    def test_invalid_level_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            Morph(runtime, "l3", 8, 8)
+
+    def test_invalid_count_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            Morph(runtime, "l2", 0, 8)
+
+    def test_overlapping_morphs_rejected(self, runtime):
+        morph = RecordingMorph(runtime)
+        with pytest.raises(ValueError):
+            runtime.register_morph(morph)
+
+    def test_unregister_removes(self, runtime):
+        morph = RecordingMorph(runtime)
+        morph.unregister()
+        assert not morph.registered
+        assert morph not in runtime.morphs
+        morph.unregister()  # idempotent
+
+    def test_unpadded_non_dividing_layout_rejected(self, runtime):
+        with pytest.raises(MorphLayoutError):
+            RecordingMorph(runtime, object_size=6, padding=False)
+
+    def test_unpadded_dividing_layout_allowed(self, runtime):
+        morph = RecordingMorph(runtime, object_size=8, padding=False)
+        assert morph.registered
+
+
+class TestTriggers:
+    def test_constructor_on_miss(self, machine, runtime):
+        morph = RecordingMorph(runtime)
+        run_program(machine, [Load(morph.get_actor_addr(3), 8)])
+        # All eight 8 B objects of the line construct together.
+        assert len(morph.constructions) == 8
+        assert (0, 3) in morph.constructions
+        assert machine.mem[morph.get_actor_addr(3)] == 30
+
+    def test_no_dram_for_phantom_fill(self, machine, runtime):
+        morph = RecordingMorph(runtime)
+        run_program(machine, [Load(morph.get_actor_addr(0), 8)])
+        assert machine.stats["dram.accesses"] == 0
+
+    def test_constructor_runs_once_while_cached(self, machine, runtime):
+        morph = RecordingMorph(runtime)
+        run_program(
+            machine,
+            [Load(morph.get_actor_addr(0), 8), Load(morph.get_actor_addr(1), 8)],
+        )
+        assert len(morph.constructions) == 8  # one line, one construction
+
+    def test_destructor_on_unregister_flush(self, machine, runtime):
+        morph = RecordingMorph(runtime)
+        run_program(machine, [Store(morph.get_actor_addr(0), 8)])
+        morph.unregister()
+        assert len(morph.destructions) == 8
+        assert any(dirty for _, _, dirty in morph.destructions)
+
+    def test_clean_destruction_flag(self, machine, runtime):
+        morph = RecordingMorph(runtime)
+        run_program(machine, [Load(morph.get_actor_addr(0), 8)])
+        morph.unregister()
+        assert all(not dirty for _, _, dirty in morph.destructions)
+
+    def test_llc_level_morph(self, machine, runtime):
+        morph = RecordingMorph(runtime, level="llc")
+        run_program(machine, [Load(morph.get_actor_addr(0), 8)])
+        assert machine.stats["morph.llc_constructions"] == 1
+        assert machine.stats["dram.accesses"] == 0
+
+    def test_llc_ctor_runs_at_bank_engine(self, machine, runtime):
+        morph = RecordingMorph(runtime, level="llc")
+        addr = morph.get_actor_addr(0)
+        bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(addr))
+        run_program(machine, [Load(addr, 8)], tile=(bank + 1) % 4)
+        assert morph.constructions[0][0] == bank
+
+
+class TestLargeObjects:
+    def test_multi_line_object_constructs_once(self, machine, runtime):
+        morph = RecordingMorph(runtime, n_actors=8, object_size=128)
+        run_program(machine, [Load(morph.get_actor_addr(0), 128)])
+        assert morph.constructions == [(0, 0)]
+
+    def test_all_lines_inserted_together(self, machine, runtime):
+        morph = RecordingMorph(runtime, n_actors=8, object_size=128)
+        run_program(machine, [Load(morph.get_actor_addr(0), 8)])
+        lines = morph.object_lines(0)
+        assert len(lines) == 2
+        for line in lines:
+            assert machine.hierarchy.l2[0].contains(line)
+
+    def test_object_lines_geometry(self, machine, runtime):
+        morph = RecordingMorph(runtime, n_actors=8, object_size=256)
+        assert len(morph.object_lines(0)) == 4
+
+
+class TestViews:
+    def test_one_view_per_tile(self, runtime):
+        morph = RecordingMorph(runtime)
+        assert len(morph.views) == runtime.machine.config.n_tiles
+        assert all(isinstance(v, MorphView) for v in morph.views)
+
+    def test_view_local_state(self, runtime):
+        morph = RecordingMorph(runtime)
+        morph.views[1].state["log"] = [1, 2]
+        assert morph.views[0].state == {}
+
+    def test_get_offset(self, runtime):
+        morph = RecordingMorph(runtime)
+        view = morph.views[0]
+        assert view.get_offset(morph.get_actor_addr(5)) == 5
+
+
+class TestIndexing:
+    def test_actor_addr_index_roundtrip(self, runtime):
+        morph = RecordingMorph(runtime, n_actors=16, object_size=24)
+        for i in range(16):
+            assert morph.index_of(morph.get_actor_addr(i)) == i
+
+    def test_covers_line(self, runtime):
+        morph = RecordingMorph(runtime)
+        assert morph.covers_line(morph.base // 64)
+        assert not morph.covers_line(morph.bound // 64 + 100)

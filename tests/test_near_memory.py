@@ -1,0 +1,90 @@
+"""Unit tests for the near-memory engine extension (Sec. IX)."""
+
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.core.future import WaitFuture
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load
+from repro.sim.system import Machine
+
+
+class Probe(Actor):
+    SIZE = 8
+
+    @action
+    def read(self, env):
+        yield Load(self.addr, 8)
+        yield Compute(1)
+        return env.machine.mem.get(self.addr, 0)
+
+
+def make(near_memory):
+    cfg = small_config()
+    cfg.leviathan.near_memory_engines = near_memory
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    actor = runtime.allocator_for(Probe, capacity=4).allocate()
+    machine.mem[actor.addr] = 77
+    return machine, runtime, actor
+
+
+class TestPlacement:
+    def test_uncached_actor_placed_at_controller(self):
+        machine, runtime, actor = make(near_memory=True)
+        got = []
+
+        def prog():
+            future = yield Invoke(actor, "read", location=Location.DYNAMIC, with_future=True)
+            got.append((yield WaitFuture(future)))
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert got == [77]
+        assert machine.stats["invoke.near_memory"] == 1
+        assert machine.stats["near_memory.direct_accesses"] >= 1
+
+    def test_disabled_by_default(self):
+        machine, runtime, actor = make(near_memory=False)
+
+        def prog():
+            yield Invoke(actor, "read", location=Location.DYNAMIC)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert machine.stats["invoke.near_memory"] == 0
+
+    def test_cached_actor_not_redirected(self):
+        machine, runtime, actor = make(near_memory=True)
+
+        def prog():
+            yield Load(actor.addr, 8)  # cache it (LLC + private)
+            yield Invoke(actor, "read", location=Location.DYNAMIC)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        assert machine.stats["invoke.near_memory"] == 0
+
+    def test_direct_access_bypasses_llc(self):
+        machine, runtime, actor = make(near_memory=True)
+
+        def prog():
+            future = yield Invoke(actor, "read", location=Location.DYNAMIC, with_future=True)
+            yield WaitFuture(future)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        line = machine.hierarchy.line_of(actor.addr)
+        assert not machine.hierarchy.llc_has(line)
+
+    def test_remote_placement_unaffected(self):
+        machine, runtime, actor = make(near_memory=True)
+
+        def prog():
+            yield Invoke(actor, "read", location=Location.REMOTE)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert machine.stats["invoke.near_memory"] == 0

@@ -1,0 +1,113 @@
+"""Unit and property tests for the mesh NoC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.config import SystemConfig
+from repro.sim.noc import MeshNoc
+from repro.sim.stats import Stats
+
+
+def make_noc(n_tiles=16):
+    return MeshNoc(SystemConfig(n_tiles=n_tiles), Stats())
+
+
+class TestTopology:
+    def test_coords_corners(self):
+        noc = make_noc(16)
+        assert noc.coords(0) == (0, 0)
+        assert noc.coords(3) == (3, 0)
+        assert noc.coords(15) == (3, 3)
+
+    def test_coords_rejects_bad_tile(self):
+        noc = make_noc(16)
+        with pytest.raises(ValueError):
+            noc.coords(16)
+        with pytest.raises(ValueError):
+            noc.coords(-1)
+
+    def test_hops_adjacent(self):
+        noc = make_noc(16)
+        assert noc.hops(0, 1) == 1
+        assert noc.hops(0, 4) == 1
+
+    def test_hops_diagonal(self):
+        noc = make_noc(16)
+        assert noc.hops(0, 15) == 6  # 3 + 3 on a 4x4 mesh
+
+    def test_hops_self(self):
+        assert make_noc().hops(5, 5) == 0
+
+    def test_rectangular_mesh(self):
+        noc = make_noc(8)  # 4x2
+        assert noc.width == 4
+        assert noc.height == 2
+        assert noc.hops(0, 7) == 4
+
+
+class TestAccounting:
+    def test_send_counts_flit_hops(self):
+        noc = make_noc()
+        noc.send(0, 1, 8)  # 2 flits x 1 hop
+        assert noc.stats["noc.flit_hops"] == 2
+        assert noc.stats["noc.messages"] == 1
+
+    def test_local_send_free_traffic(self):
+        noc = make_noc()
+        noc.send(3, 3, 64)
+        assert noc.stats["noc.flit_hops"] == 0
+        assert noc.stats["noc.messages"] == 1
+
+    def test_data_costs_more_flits_than_control(self):
+        noc = make_noc()
+        noc.send(0, 1, 8)
+        control = noc.stats["noc.flits"]
+        noc.send(0, 1, 64)
+        data = noc.stats["noc.flits"] - control
+        assert data > control
+
+    def test_round_trip_latency(self):
+        noc = make_noc()
+        rt = noc.round_trip(0, 5, 8, 64)
+        stats2 = Stats()
+        noc2 = MeshNoc(SystemConfig(), stats2)
+        assert rt == noc2.send(0, 5, 8) + noc2.send(5, 0, 64)
+
+    def test_latency_grows_with_distance(self):
+        noc = make_noc()
+        assert noc.send(0, 15, 8) > noc.send(0, 1, 8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=15),
+    b=st.integers(min_value=0, max_value=15),
+)
+def test_property_hops_symmetric(a, b):
+    noc = make_noc(16)
+    assert noc.hops(a, b) == noc.hops(b, a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=15),
+    b=st.integers(min_value=0, max_value=15),
+    c=st.integers(min_value=0, max_value=15),
+)
+def test_property_hops_triangle_inequality(a, b, c):
+    noc = make_noc(16)
+    assert noc.hops(a, c) <= noc.hops(a, b) + noc.hops(b, c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=15),
+    b=st.integers(min_value=0, max_value=15),
+    payload=st.integers(min_value=1, max_value=256),
+)
+def test_property_latency_positive_and_monotone_in_payload(a, b, payload):
+    noc = make_noc(16)
+    lat_small = noc.send(a, b, payload)
+    lat_big = noc.send(a, b, payload + 64)
+    assert lat_small >= 1
+    assert lat_big >= lat_small

@@ -1,0 +1,335 @@
+"""Unit tests for task offload: placement, backpressure, futures, chains."""
+
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.core.future import Future, WaitFuture
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load, Sleep, Store
+from repro.sim.system import Machine
+
+
+class Cell(Actor):
+    SIZE = 8
+
+    @action
+    def poke(self, env, amount=1):
+        yield Load(self.addr, 8)
+        yield Compute(1)
+        mem = env.machine.mem
+        yield Store(
+            self.addr, 8, apply=lambda: mem.__setitem__(
+                self.addr, mem.get(self.addr, 0) + amount
+            )
+        )
+
+    @action
+    def read(self, env):
+        yield Load(self.addr, 8)
+        return env.machine.mem.get(self.addr, 0)
+
+    @action
+    def where(self, env):
+        yield Compute(1)
+        return ("ran", )
+
+
+@pytest.fixture
+def cell(runtime):
+    alloc = runtime.allocator_for(Cell, capacity=8)
+    return alloc.allocate()
+
+
+def run_invokes(machine, ops, tile=0):
+    def prog():
+        for op in ops:
+            yield op
+
+    machine.spawn(prog(), tile=tile, name="invoker")
+    machine.run()
+
+
+class TestBasicInvoke:
+    def test_invoke_executes_action(self, machine, runtime, cell):
+        run_invokes(machine, [Invoke(cell, "poke", (5,), location=Location.REMOTE)])
+        assert machine.mem[cell.addr] == 5
+        assert machine.stats["engine.tasks"] == 1
+
+    def test_invoke_requires_runtime(self):
+        machine = Machine(small_config())
+        cell = Cell()
+        cell.addr = 0x10000
+
+        def prog():
+            yield Invoke(cell, "poke", (1,))
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(RuntimeError):
+            machine.run()
+
+    def test_invoke_is_async(self, machine, runtime, cell):
+        """The invoking core does not wait for the action."""
+        times = []
+
+        def prog():
+            yield Invoke(cell, "poke", (1,), location=Location.REMOTE)
+            times.append(machine.scheduler.current.time)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        # Issue cost is tiny; the engine work happens later.
+        assert times[0] < 10
+
+    def test_future_returns_value(self, machine, runtime, cell):
+        got = []
+
+        def prog():
+            yield Invoke(cell, "poke", (3,), location=Location.REMOTE)
+            # Invokes are asynchronous: give the poke time to land.
+            yield Sleep(500)
+            future = yield Invoke(cell, "read", with_future=True, location=Location.REMOTE)
+            value = yield WaitFuture(future)
+            got.append(value)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        assert got == [3]
+
+    def test_with_future_conflicts_with_explicit_future(self, machine, runtime, cell):
+        future = Future(machine, 0)
+
+        def prog():
+            yield Invoke(cell, "read", with_future=True, future=future)
+
+        machine.spawn(prog(), tile=0)
+        with pytest.raises(ValueError):
+            machine.run()
+
+    def test_none_result_does_not_fill_future(self, machine, runtime, cell):
+        class Quiet(Actor):
+            SIZE = 8
+
+            @action
+            def nothing(self, env):
+                yield Compute(1)
+                return None
+
+        quiet = Quiet()
+        quiet.addr = cell.addr
+        future = Future(machine, 0)
+        run_invokes(machine, [Invoke(quiet, "nothing", future=future)])
+        assert not future.filled
+
+
+class TestPlacement:
+    def test_remote_runs_at_bank(self, machine, runtime, cell):
+        bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(cell.addr))
+        contexts = []
+
+        class Spy(Cell):
+            @action
+            def spy(self, env):
+                yield Compute(1)
+                contexts.append(machine.scheduler.current.tile)
+
+        spy = Spy()
+        spy.addr = cell.addr
+        run_invokes(machine, [Invoke(spy, "spy", location=Location.REMOTE)], tile=0)
+        assert contexts == [bank]
+
+    def test_local_runs_on_invoker_tile(self, machine, runtime, cell):
+        contexts = []
+
+        class Spy(Cell):
+            @action
+            def spy(self, env):
+                yield Compute(1)
+                contexts.append(machine.scheduler.current.tile)
+
+        spy = Spy()
+        spy.addr = cell.addr
+        run_invokes(machine, [Invoke(spy, "spy", location=Location.LOCAL)], tile=2)
+        assert contexts == [2]
+
+    def test_pinned_tile(self, machine, runtime, cell):
+        contexts = []
+
+        class Spy(Cell):
+            @action
+            def spy(self, env):
+                yield Compute(1)
+                contexts.append(machine.scheduler.current.tile)
+
+        spy = Spy()
+        spy.addr = cell.addr
+        run_invokes(machine, [Invoke(spy, "spy", tile=3)], tile=0)
+        assert contexts == [3]
+
+    def test_dynamic_runs_inline_when_cached_in_l1(self, machine, runtime, cell):
+        def prog():
+            yield Load(cell.addr, 8)  # pull into tile 0's L1
+            yield Invoke(cell, "poke", (1,), location=Location.DYNAMIC)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        assert machine.stats["invoke.inline_at_core"] == 1
+        assert machine.stats["engine.tasks"] == 0
+
+    def test_dynamic_goes_remote_when_uncached(self, machine, runtime, cell):
+        bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(cell.addr))
+        invoker_tile = (bank + 1) % machine.config.n_tiles
+        run_invokes(
+            machine,
+            [Invoke(cell, "poke", (1,), location=Location.DYNAMIC)],
+            tile=invoker_tile,
+        )
+        assert machine.stats["invoke.remote"] + machine.stats["invoke.migrations"] == 1
+
+    def test_dynamic_exclusive_follows_owner(self, machine, runtime, cell):
+        line = machine.hierarchy.line_of(cell.addr)
+        contexts = []
+
+        class Spy(Cell):
+            @action
+            def spy(self, env):
+                yield Compute(1)
+                contexts.append(machine.scheduler.current.tile)
+
+        spy = Spy()
+        spy.addr = cell.addr
+
+        def owner_prog():
+            yield Store(cell.addr, 8)  # tile 2 takes ownership
+
+        def invoker_prog():
+            yield Sleep(50)
+            yield Invoke(spy, "spy", location=Location.DYNAMIC, exclusive=True)
+
+        machine.spawn(owner_prog(), tile=2)
+        machine.spawn(invoker_prog(), tile=1)
+        machine.run()
+        assert contexts == [2]
+
+    def test_migration_pulls_hot_actor_local(self, runtime):
+        machine = runtime.machine
+        period = machine.config.leviathan.migration_period
+        alloc = runtime.allocator_for(Cell, capacity=4)
+        cell_actor = alloc.allocate()
+
+        bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(cell_actor.addr))
+        invoker_tile = (bank + 1) % machine.config.n_tiles
+
+        def prog():
+            for _ in range(period + 2):
+                yield Invoke(cell_actor, "poke", (1,), location=Location.DYNAMIC)
+
+        machine.spawn(prog(), tile=invoker_tile)
+        machine.run()
+        assert machine.stats["invoke.migrations"] >= 1
+        # After migration, later invokes run on the invoker's tile.
+        assert machine.stats["invoke.remote"] < period + 2
+
+
+class TestBackpressure:
+    def test_invoke_buffer_stalls_core(self):
+        cfg = small_config(**{"core.invoke_buffer_entries": 1, "engine.task_contexts": 2})
+        machine = Machine(cfg)
+        runtime = Leviathan(machine)
+        alloc = runtime.allocator_for(Cell, capacity=8)
+        cell = alloc.allocate()
+
+        def prog():
+            for _ in range(16):
+                yield Invoke(cell, "poke", (1,), location=Location.REMOTE)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert machine.stats["invoke.stalls"] > 0
+        assert machine.mem[cell.addr] == 16  # all work still completed
+
+    def test_engine_nacks_when_contexts_full(self):
+        cfg = small_config(**{"engine.task_contexts": 2})  # 1 offload context
+        machine = Machine(cfg)
+        runtime = Leviathan(machine)
+        alloc = runtime.allocator_for(Slow, capacity=8)
+        actor = alloc.allocate()
+
+        def prog():
+            for _ in range(6):
+                yield Invoke(actor, "slow", location=Location.REMOTE)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert machine.stats["engine.nacks"] > 0
+        assert machine.stats["engine.tasks"] == 6
+
+    def test_futures_skip_invoke_buffer(self):
+        cfg = small_config(**{"core.invoke_buffer_entries": 1})
+        machine = Machine(cfg)
+        runtime = Leviathan(machine)
+        alloc = runtime.allocator_for(Cell, capacity=8)
+        cell = alloc.allocate()
+
+        def prog():
+            futures = []
+            for _ in range(4):
+                future = yield Invoke(cell, "read", with_future=True, location=Location.REMOTE)
+                futures.append(future)
+            for future in futures:
+                yield WaitFuture(future)
+
+        machine.spawn(prog(), tile=1)
+        machine.run()
+        assert machine.stats["invoke.stalls"] == 0
+
+
+class Slow(Actor):
+    SIZE = 8
+
+    @action
+    def slow(self, env):
+        yield Compute(500)
+
+
+class TestChaining:
+    def test_continuation_passing_chain(self, machine, runtime):
+        class LinkedCell(Actor):
+            SIZE = 16
+
+            def __init__(self):
+                super().__init__()
+                self.next = None
+                self.value = 0
+
+            @action
+            def sum_chain(self, env, acc, future):
+                yield Load(self.addr, 16)
+                yield Compute(2)
+                acc = acc + self.value
+                if self.next is None:
+                    return acc
+                yield Invoke(
+                    self.next, "sum_chain", (acc, future), future=future, args_bytes=16
+                )
+                return None
+
+        alloc = runtime.allocator_for(LinkedCell, capacity=8)
+        cells = [alloc.allocate() for _ in range(5)]
+        for i, cell in enumerate(cells):
+            cell.value = i + 1
+            cell.next = cells[i + 1] if i + 1 < len(cells) else None
+
+        got = []
+
+        def prog():
+            future = Future(machine, 0)
+            yield Invoke(cells[0], "sum_chain", (0, future), future=future, args_bytes=16)
+            value = yield WaitFuture(future)
+            got.append(value)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        assert got == [15]
+        assert machine.stats["engine.tasks"] >= 1

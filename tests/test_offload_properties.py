@@ -1,0 +1,115 @@
+"""Property-based tests for task offload under random invoke storms.
+
+For arbitrary mixes of locations, actors, invokers, and engine/buffer
+capacities: every invoked task executes exactly once, all functional
+updates land, the invoke buffer never exceeds its capacity, and runs
+are deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actor import Actor, action
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+
+
+class Tally(Actor):
+    SIZE = 8
+
+    @action
+    def hit(self, env, token):
+        yield Load(self.addr, 8)
+        yield Compute(2)
+        mem = env.machine.mem
+        yield Store(
+            self.addr,
+            8,
+            apply=lambda: mem.__setitem__(self.addr, mem.get(self.addr, 0) + token),
+        )
+
+
+LOCATIONS = [Location.LOCAL, Location.REMOTE, Location.DYNAMIC]
+
+INVOKE_SEQ = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # invoker tile
+        st.integers(min_value=0, max_value=7),  # actor index
+        st.integers(min_value=0, max_value=2),  # location index
+        st.booleans(),  # exclusive hint
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def run_storm(ops, task_contexts=8, buffer_entries=2):
+    cfg = small_config(
+        **{
+            "engine.task_contexts": task_contexts,
+            "core.invoke_buffer_entries": buffer_entries,
+        }
+    )
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    alloc = runtime.allocator_for(Tally, capacity=8)
+    actors = [alloc.allocate() for _ in range(8)]
+
+    per_tile = {t: [] for t in range(4)}
+    expected = {i: 0 for i in range(8)}
+    for tile, actor_index, loc_index, exclusive in ops:
+        per_tile[tile].append((actor_index, loc_index, exclusive))
+        expected[actor_index] += 1
+
+    def invoker(jobs):
+        for actor_index, loc_index, exclusive in jobs:
+            yield Invoke(
+                actors[actor_index],
+                "hit",
+                (1,),
+                location=LOCATIONS[loc_index],
+                exclusive=exclusive,
+            )
+            yield Compute(1)
+
+    for tile, jobs in per_tile.items():
+        if jobs:
+            machine.spawn(invoker(jobs), tile=tile)
+    machine.run()
+    got = {i: machine.mem.get(actors[i].addr, 0) for i in range(8)}
+    return machine, expected, got
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=INVOKE_SEQ)
+def test_property_every_invoke_executes_exactly_once(ops):
+    machine, expected, got = run_storm(ops)
+    assert got == expected
+    executed = (
+        machine.stats["engine.tasks"] + machine.stats["invoke.inline_at_core"]
+    )
+    assert executed == len(ops)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=INVOKE_SEQ,
+    task_contexts=st.sampled_from([2, 4, 8]),
+    buffer_entries=st.sampled_from([1, 2, 4]),
+)
+def test_property_backpressure_never_loses_work(ops, task_contexts, buffer_entries):
+    _, expected, got = run_storm(
+        ops, task_contexts=task_contexts, buffer_entries=buffer_entries
+    )
+    assert got == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=INVOKE_SEQ)
+def test_property_invoke_storms_deterministic(ops):
+    first = run_storm(ops)
+    second = run_storm(ops)
+    assert first[2] == second[2]
+    assert dict(first[0].stats.counters) == dict(second[0].stats.counters)

@@ -1,0 +1,158 @@
+"""Unit tests for the operation vocabulary."""
+
+import pytest
+
+from repro.sim.ops import (
+    AtomicRMW,
+    Branch,
+    Compute,
+    Fence,
+    Load,
+    Prefetch,
+    SetPhase,
+    Sleep,
+    Store,
+)
+from tests.conftest import run_program
+
+
+class TestCompute:
+    def test_core_latency_uses_ipc(self, machine):
+        final = run_program(machine, iter([Compute(9)]))
+        assert final == pytest.approx(9 / machine.config.core.ipc)
+
+    def test_counts_instructions(self, machine):
+        run_program(machine, iter([Compute(9)]))
+        assert machine.stats["core.instructions"] == 9
+
+    def test_zero_instructions_free(self, machine):
+        assert run_program(machine, iter([Compute(0)])) == 0
+
+
+class TestBranch:
+    def test_predicted_branch_cheap(self, machine):
+        final = run_program(machine, iter([Branch(mispredicted=False)]))
+        assert final < machine.config.core.branch_miss_penalty
+
+    def test_mispredicted_branch_pays_penalty(self, machine):
+        final = run_program(machine, iter([Branch(mispredicted=True)]))
+        assert final >= machine.config.core.branch_miss_penalty
+        assert machine.stats["core.branch_mispredictions"] == 1
+
+
+class TestLoadsStores:
+    def test_load_reaches_memory(self, machine):
+        run_program(machine, iter([Load(0x10000, 8)]))
+        assert machine.stats["l1.accesses"] == 1
+        assert machine.stats["dram.accesses"] == 1
+
+    def test_store_marks_dirty(self, machine):
+        run_program(machine, iter([Store(0x10000, 8)]))
+        line = machine.hierarchy.line_of(0x10000)
+        assert machine.hierarchy.l1[0].lookup(line, touch=False).dirty
+
+    def test_apply_callback_runs(self, machine):
+        seen = []
+        run_program(machine, iter([Store(0x10000, 8, apply=lambda: seen.append(1))]))
+        assert seen == [1]
+
+    def test_load_apply_callback(self, machine):
+        seen = []
+        run_program(machine, iter([Load(0x10000, 8, apply=lambda: seen.append(1))]))
+        assert seen == [1]
+
+
+class TestAtomics:
+    def test_fenced_atomic_pays_fence(self, machine):
+        relaxed_machine_time = None
+
+        def relaxed():
+            yield AtomicRMW(0x10000, 8, fenced=False)
+
+        def fenced():
+            yield AtomicRMW(0x10000, 8, fenced=True)
+
+        from repro.sim.config import small_config
+        from repro.sim.system import Machine
+
+        m1 = Machine(small_config())
+        t_relaxed = run_program(m1, relaxed())
+        m2 = Machine(small_config())
+        t_fenced = run_program(m2, fenced())
+        assert t_fenced == pytest.approx(
+            t_relaxed + m2.config.core.fence_penalty
+        )
+        assert m2.stats["core.fences"] == 1
+        assert m1.stats["core.fences"] == 0
+
+    def test_atomic_counts(self, machine):
+        run_program(machine, iter([AtomicRMW(0x10000, 8)]))
+        assert machine.stats["core.atomics"] == 1
+
+    def test_fence_op(self, machine):
+        final = run_program(machine, iter([Fence()]))
+        assert final == machine.config.core.fence_penalty
+
+
+class TestMisc:
+    def test_sleep(self, machine):
+        assert run_program(machine, iter([Sleep(123)])) == 123
+
+    def test_sleep_negative_clamped(self, machine):
+        assert run_program(machine, iter([Sleep(-5)])) == 0
+
+    def test_set_phase(self, machine):
+        def prog():
+            yield SetPhase("warm")
+            yield Compute(3)
+            yield SetPhase(None)
+            yield Compute(3)
+
+        run_program(machine, prog())
+        assert machine.stats["warm/core.instructions"] == 3
+        assert machine.stats["core.instructions"] == 6
+
+    def test_prefetch_is_cheap_but_warms(self, machine):
+        final = run_program(machine, iter([Prefetch(0x10000)]))
+        assert final <= 2
+        line = machine.hierarchy.line_of(0x10000)
+        assert machine.hierarchy.l1[0].contains(line)
+
+
+class TestEngineTiming:
+    def test_engine_compute_uses_fabric_timing(self, machine):
+        def prog():
+            yield Compute(10)
+
+        machine.spawn(prog(), tile=0, is_engine=True)
+        final = machine.run()
+        engine = machine.config.engine
+        assert final == pytest.approx(10 * engine.pe_latency / engine.issue_width)
+        assert machine.stats["engine.instructions"] == 10
+
+    def test_ideal_engine_compute_is_free(self):
+        from repro.sim.config import small_config
+        from repro.sim.system import Machine
+
+        machine = Machine(small_config(**{"engine.ideal": True}))
+
+        def prog():
+            yield Compute(1000)
+
+        machine.spawn(prog(), tile=0, is_engine=True)
+        assert machine.run() == 0
+
+    def test_engine_has_no_mispredictions(self, machine):
+        def prog():
+            yield Branch(mispredicted=True)
+
+        machine.spawn(prog(), tile=0, is_engine=True)
+        machine.run()
+        assert machine.stats["core.branch_mispredictions"] == 0
+
+    def test_engine_fence_free(self, machine):
+        def prog():
+            yield Fence()
+
+        machine.spawn(prog(), tile=0, is_engine=True)
+        assert machine.run() == 0

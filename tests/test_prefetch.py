@@ -1,0 +1,70 @@
+"""Unit tests for the strided prefetcher."""
+
+from repro.sim.prefetch import StridePrefetcher
+
+
+def make_pf():
+    return StridePrefetcher(tile=0, line_size=64)
+
+
+class TestStrideDetection:
+    def test_first_miss_no_prefetch(self):
+        assert make_pf().train(100) == []
+
+    def test_two_misses_arm_unit_stride(self):
+        pf = make_pf()
+        pf.train(100)
+        # Second miss establishes the stride but confidence is still 0.
+        assert pf.train(101) == []
+        # Third confirms: prefetch ahead.
+        assert pf.train(102) == [103, 104]
+
+    def test_non_unit_stride(self):
+        pf = make_pf()
+        pf.train(100)
+        pf.train(104)
+        assert pf.train(108) == [112, 116]
+
+    def test_negative_stride(self):
+        pf = make_pf()
+        pf.train(108)
+        pf.train(104)
+        assert pf.train(100) == [96, 92]
+
+    def test_stride_change_resets_confidence(self):
+        pf = make_pf()
+        pf.train(100)
+        pf.train(101)
+        pf.train(102)
+        assert pf.train(110) == []  # broke the pattern
+
+    def test_repeated_line_ignored(self):
+        pf = make_pf()
+        pf.train(100)
+        assert pf.train(100) == []
+
+    def test_random_pattern_never_prefetches(self):
+        pf = make_pf()
+        issued = []
+        for line in (3, 77, 12, 900, 44, 530, 2, 61):
+            issued.extend(pf.train(line))
+        assert issued == []
+
+
+class TestRegions:
+    def test_streams_in_different_regions_independent(self):
+        pf = make_pf()
+        region_a = 0
+        region_b = 1 << 14  # different 4 KB region (in lines: 4096/64=64)
+        pf.train(region_a + 0)
+        pf.train(region_b + 0)
+        pf.train(region_a + 1)
+        pf.train(region_b + 1)
+        assert pf.train(region_a + 2) == [region_a + 3, region_a + 4]
+        assert pf.train(region_b + 2) == [region_b + 3, region_b + 4]
+
+    def test_table_capacity_bounded(self):
+        pf = make_pf()
+        for i in range(64):
+            pf.train(i * 1024)  # 64 distinct regions
+        assert len(pf._table) <= StridePrefetcher.TABLE_ENTRIES

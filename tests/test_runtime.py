@@ -1,0 +1,108 @@
+"""Unit tests for the Leviathan runtime facade and area model."""
+
+import pytest
+
+from repro.core.area import AreaModel
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load
+from repro.sim.system import Machine
+
+
+class TestRuntime:
+    def test_installs_engines_and_hooks(self, machine):
+        runtime = Leviathan(machine)
+        assert len(runtime.engines) == machine.config.n_tiles
+        assert machine.engines is runtime.engines
+        assert machine.hierarchy.hooks is runtime.hooks
+        assert machine.leviathan is runtime
+
+    def test_double_install_rejected(self, machine):
+        Leviathan(machine)
+        with pytest.raises(RuntimeError):
+            Leviathan(machine)
+
+    def test_invoke_buffers_per_tile(self, runtime):
+        assert len(runtime.invoke_buffers) == runtime.machine.config.n_tiles
+        entries = runtime.machine.config.core.invoke_buffer_entries
+        assert all(b.entries == entries for b in runtime.invoke_buffers)
+
+    def test_find_morph_by_level(self, runtime):
+        from tests.test_morph import RecordingMorph
+
+        l2_morph = RecordingMorph(runtime, level="l2")
+        llc_morph = RecordingMorph(runtime, level="llc")
+        l2_line = l2_morph.base // 64
+        llc_line = llc_morph.base // 64
+        assert runtime.find_morph(l2_line, "l2") is l2_morph
+        assert runtime.find_morph(l2_line, "llc") is None
+        assert runtime.find_morph(llc_line, "llc") is llc_morph
+
+    def test_unregister_unknown_morph(self, runtime):
+        from tests.test_morph import RecordingMorph
+
+        morph = RecordingMorph(runtime)
+        runtime.unregister_morph(morph)
+        with pytest.raises(KeyError):
+            runtime.unregister_morph(morph)
+
+    def test_baseline_behaviour_unchanged_with_idle_runtime(self):
+        """A runtime with no morphs/pools does not perturb the baseline
+        (Sec. VI-D: no impact on non-NDC workloads)."""
+
+        def prog():
+            for i in range(64):
+                yield Load(0x9_0000 + i * 64, 8)
+                yield Compute(3)
+
+        baseline = Machine(small_config())
+        baseline.spawn(prog(), tile=0)
+        base_time = baseline.run()
+
+        with_runtime = Machine(small_config())
+        Leviathan(with_runtime)
+        with_runtime.spawn(prog(), tile=0)
+        runtime_time = with_runtime.run()
+
+        assert runtime_time == pytest.approx(base_time)
+        assert (
+            baseline.stats["dram.accesses"] == with_runtime.stats["dram.accesses"]
+        )
+
+    def test_spawn_passthrough(self, runtime):
+        done = []
+
+        def prog():
+            yield Compute(1)
+            done.append(True)
+
+        runtime.spawn(prog(), tile=1)
+        runtime.machine.run()
+        assert done == [True]
+
+    def test_repr(self, runtime):
+        assert "engines" in repr(runtime)
+
+
+class TestAreaModel:
+    def test_paper_numbers(self):
+        model = AreaModel()
+        assert model.total_bytes() / 1024 == pytest.approx(32.8, abs=0.1)
+        assert model.overhead_fraction() == pytest.approx(0.064, abs=0.001)
+
+    def test_breakdown_matches_table4(self):
+        breakdown = AreaModel().breakdown()
+        assert breakdown["LLC tags"] == 3 * 1024
+        assert breakdown["LLC translation buffer"] == 200
+        assert breakdown["Engine L1d, TLB, rTLB"] == 12 * 1024
+        assert breakdown["Data-triggered buffer"] == 4 * 1024
+
+    def test_larger_objects_cost_more(self):
+        small = AreaModel(max_object_bytes=256)
+        big = AreaModel(max_object_bytes=1024)
+        assert big.total_bytes() > small.total_bytes()
+
+    def test_report_renders(self):
+        report = AreaModel().report()
+        assert "Total per LLC bank" in report
+        assert "6.4%" in report

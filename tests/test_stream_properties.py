@@ -1,0 +1,102 @@
+"""Property-based tests for stream flow control.
+
+For arbitrary producer/consumer compute costs, buffer sizes, and entry
+counts: no deadlock, exact FIFO order, and every pushed value consumed
+exactly once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import Leviathan
+from repro.core.stream import Stream, STREAM_END
+from repro.sim.config import small_config
+from repro.sim.ops import Compute
+from repro.sim.system import Machine
+
+
+class CostedStream(Stream):
+    """Pushes 0..count-1 with per-item producer compute costs."""
+
+    def __init__(self, runtime, count, costs, **kwargs):
+        self.count = count
+        self.costs = costs
+        super().__init__(runtime, **kwargs)
+
+    def gen_stream(self, env):
+        for i in range(self.count):
+            yield Compute(self.costs[i % len(self.costs)])
+            yield from self.push(i)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    count=st.integers(min_value=0, max_value=120),
+    buffer_entries=st.sampled_from([16, 24, 32, 64]),
+    producer_costs=st.lists(
+        st.integers(min_value=0, max_value=120), min_size=1, max_size=5
+    ),
+    consumer_cost=st.integers(min_value=0, max_value=120),
+    producer_tile=st.integers(min_value=0, max_value=3),
+    consumer_tile=st.integers(min_value=0, max_value=3),
+)
+def test_property_stream_fifo_exactly_once(
+    count, buffer_entries, producer_costs, consumer_cost, producer_tile, consumer_tile
+):
+    machine = Machine(small_config())
+    runtime = Leviathan(machine)
+    stream = CostedStream(
+        runtime,
+        count,
+        producer_costs,
+        object_size=8,
+        buffer_entries=buffer_entries,
+        consumer_tile=consumer_tile,
+        producer_tile=producer_tile,
+    )
+    stream.start()
+    got = []
+
+    def consumer():
+        while True:
+            value = yield from stream.consume()
+            if value is STREAM_END:
+                return
+            yield Compute(consumer_cost)
+            got.append(value)
+
+    machine.spawn(consumer(), tile=consumer_tile)
+    machine.run()  # raises SimDeadlock on any flow-control bug
+    assert got == list(range(count))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    count=st.integers(min_value=20, max_value=100),
+    limit=st.integers(min_value=1, max_value=19),
+)
+def test_property_early_termination_never_deadlocks(count, limit):
+    machine = Machine(small_config())
+    runtime = Leviathan(machine)
+    stream = CostedStream(
+        runtime,
+        count,
+        [1],
+        object_size=8,
+        buffer_entries=16,
+        consumer_tile=0,
+    )
+    producer_ctx = stream.start()
+    got = []
+
+    def consumer():
+        while len(got) < limit:
+            value = yield from stream.consume()
+            if value is STREAM_END:
+                return
+            got.append(value)
+        stream.terminate()
+
+    machine.spawn(consumer(), tile=0)
+    machine.run()
+    assert got == list(range(limit))
+    assert producer_ctx.done

@@ -1,0 +1,99 @@
+"""Unit tests for the Machine facade and Tile views."""
+
+import pytest
+
+from repro.sim.config import small_config
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+
+
+class TestMachine:
+    def test_spawn_validates_tile(self, machine):
+        with pytest.raises(ValueError):
+            machine.spawn(iter(()), tile=99)
+
+    def test_run_inline_returns_latency_and_result(self, machine):
+        def action():
+            yield Compute(10)
+            yield Load(0x10000, 8)
+            return "done"
+
+        latency, result = machine.run_inline(action(), tile=0)
+        assert latency > 0
+        assert result == "done"
+
+    def test_run_inline_engine_vs_core_timing(self, machine):
+        def action():
+            yield Compute(12)
+
+        engine_lat, _ = machine.run_inline(action(), tile=0, is_engine=True)
+        core_lat, _ = machine.run_inline(action(), tile=0, is_engine=False)
+        # Engine: 12 / issue_width 2 = 6; core: 12 / ipc 3 = 4.
+        assert engine_lat == pytest.approx(6)
+        assert core_lat == pytest.approx(4)
+
+    def test_seconds_conversion(self, machine):
+        freq_hz = machine.config.core.freq_ghz * 1e9
+        assert machine.seconds(cycles=freq_hz) == pytest.approx(1.0)
+
+    def test_mem_value_store(self, machine):
+        machine.mem[0x1234] = {"anything": True}
+        assert machine.mem[0x1234]["anything"]
+
+    def test_repr(self, machine):
+        assert "tiles" in repr(machine)
+
+    def test_run_can_be_resumed_with_new_work(self, machine):
+        def prog():
+            yield Compute(30)
+
+        machine.spawn(prog(), tile=0)
+        first = machine.run()
+        machine.spawn(prog(), tile=1)
+        second = machine.run()
+        assert second >= first
+
+
+class TestTile:
+    def test_tile_views(self, machine):
+        tile = machine.tiles[1]
+        assert tile.l1 is machine.hierarchy.l1[1]
+        assert tile.l2 is machine.hierarchy.l2[1]
+        assert tile.llc_bank is machine.hierarchy.llc[1]
+        assert tile.engine_l1 is machine.hierarchy.engine_l1[1]
+
+    def test_engine_none_without_runtime(self, machine):
+        assert machine.tiles[0].engine is None
+
+    def test_engine_present_with_runtime(self, runtime):
+        machine = runtime.machine
+        assert machine.tiles[0].engine is runtime.engines[0]
+
+    def test_coords(self, machine):
+        assert machine.tiles[0].coords == (0, 0)
+        assert machine.tiles[3].coords == (1, 1)  # 2x2 mesh on 4 tiles
+
+    def test_repr(self, machine):
+        assert "Tile(0" in repr(machine.tiles[0])
+
+
+class TestFunctionalMemoryThroughMachinery:
+    def test_store_then_load_roundtrip_values(self, machine):
+        base = 0x5_0000
+        values = {}
+
+        def writer():
+            for i in range(32):
+                addr = base + i * 8
+                yield Store(addr, 8, apply=lambda a=addr, v=i * i: machine.mem.__setitem__(a, v))
+
+        def reader():
+            for i in range(32):
+                addr = base + i * 8
+                yield Load(addr, 8, apply=lambda a=addr, i=i: values.__setitem__(i, machine.mem.get(a)))
+
+        machine.spawn(writer(), tile=0)
+        machine.run()
+        machine.spawn(reader(), tile=1)
+        machine.run()
+        assert values == {i: i * i for i in range(32)}

@@ -1,0 +1,60 @@
+"""Unit tests for the NDC taxonomy (Tables I-III)."""
+
+import pytest
+
+from repro import taxonomy
+
+
+class TestParadigms:
+    def test_four_paradigms(self):
+        assert len(taxonomy.PARADIGMS) == 4
+
+    def test_taxonomy_coordinates_unique(self):
+        coords = {(p.small_tasks, p.talks_to_cores) for p in taxonomy.PARADIGMS}
+        assert len(coords) == 4
+
+    def test_classify(self):
+        assert taxonomy.classify(True, True) is taxonomy.TASK_OFFLOAD
+        assert taxonomy.classify(False, False) is taxonomy.LONG_LIVED
+        assert taxonomy.classify(True, False) is taxonomy.DATA_TRIGGERED
+        assert taxonomy.classify(False, True) is taxonomy.STREAMING
+
+    def test_prior_work_nonempty(self):
+        for paradigm in taxonomy.PARADIGMS:
+            assert paradigm.prior_work
+
+    def test_paper_exemplars_present(self):
+        assert "Livia" in taxonomy.TASK_OFFLOAD.prior_work
+        assert "PHI" in taxonomy.DATA_TRIGGERED.prior_work
+        assert "HATS" in taxonomy.STREAMING.prior_work
+
+    def test_analogies(self):
+        # Sec. II-C's rough analogy set.
+        assert "function" in taxonomy.TASK_OFFLOAD.analogy
+        assert "thread" in taxonomy.LONG_LIVED.analogy
+        assert "interrupt" in taxonomy.DATA_TRIGGERED.analogy
+        assert "socket" in taxonomy.STREAMING.analogy
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = taxonomy.table1()
+        assert len(rows) == 4
+        assert rows[0][0] == "Task offload"
+
+    def test_table2_actions(self):
+        actions = dict(taxonomy.table2())
+        assert "constructor" in actions["Data-triggered actions"].lower()
+        assert "producer" in actions["Streaming"].lower()
+
+    def test_table3_merges_long_lived(self):
+        rows = taxonomy.table3()
+        assert len(rows) == 3
+        names = [r[0] for r in rows]
+        assert "Long-lived workloads" not in names
+
+    def test_table3_support_fields(self):
+        support = {name: (core, cache, engine) for name, core, cache, engine in taxonomy.table3()}
+        assert "invoke" in support["Task offload"][0]
+        assert "tag bits" in support["Data-triggered actions"][1]
+        assert "stream" in support["Streaming"][2]

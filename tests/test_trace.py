@@ -1,0 +1,80 @@
+"""Unit tests for the optional tracer."""
+
+from repro.sim.ops import Load, Store
+from repro.sim.trace import Tracer
+from tests.conftest import run_program
+
+
+class TestTracer:
+    def test_records_watched_accesses(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        run_program(machine, [Load(0x10008, 8), Store(0x20000, 8)])
+        assert len(tracer) == 1
+        assert tracer.count(containing="hot") == 1
+        assert "load 8B" in tracer.render()
+
+    def test_unwatched_accesses_ignored(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        run_program(machine, [Load(0x50000, 8)])
+        assert len(tracer) == 0
+
+    def test_detach_restores_path(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        tracer.detach()
+        run_program(machine, [Load(0x10008, 8)])
+        assert len(tracer) == 0
+
+    def test_engine_accesses_labelled(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+
+        def prog():
+            yield Store(0x10000, 8)
+
+        machine.spawn(prog(), tile=2, is_engine=True)
+        machine.run()
+        assert tracer.count(containing="engine2") == 1
+
+    def test_bounded(self, machine):
+        tracer = Tracer(machine, max_events=5).watch_range(0, 1 << 30, "all")
+        run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(20)])
+        assert len(tracer) == 5
+
+    def test_tracing_does_not_change_timing(self):
+        from repro.sim.config import small_config
+        from repro.sim.system import Machine
+
+        def prog():
+            for i in range(32):
+                yield Load(0x10000 + i * 64, 8)
+
+        plain = Machine(small_config())
+        plain.spawn(prog(), tile=0)
+        plain_time = plain.run()
+
+        traced = Machine(small_config())
+        Tracer(traced).watch_range(0x10000, 0x20000, "x")
+        traced.spawn(prog(), tile=0)
+        traced_time = traced.run()
+        assert traced_time == plain_time
+
+
+class TestStreamFutureApi:
+    def test_next_wait_equivalent_to_consume(self, machine, runtime):
+        from repro.core.stream import STREAM_END
+        from tests.test_stream import RangeStream
+
+        stream = RangeStream(runtime, count=10)
+        stream.start()
+        got = []
+
+        def consumer():
+            while True:
+                future = stream.next()
+                value = yield from future.wait()
+                if value is STREAM_END:
+                    return
+                got.append(value)
+
+        machine.spawn(consumer(), tile=0)
+        machine.run()
+        assert got == list(range(10))

@@ -1,0 +1,223 @@
+"""Detail tests for workload-module internals (layouts, policies,
+oracles) that the end-to-end functional tests exercise only implicitly."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import Leviathan
+from repro.sim.system import Machine
+from repro.workloads import decompress, hashtable, hats, phi
+
+
+class TestPhiInternals:
+    def make(self, **overrides):
+        params = dict(n_vertices=256, n_edges=1024, n_threads=4, seed=7)
+        params.update(overrides)
+        machine = Machine(phi.phi_config())
+        data = phi._PhiData(machine, params)
+        return machine, data
+
+    def test_edge_slices_partition(self):
+        _, data = self.make()
+        slices = data.edge_slices()
+        assert slices[0][0] == 0
+        assert slices[-1][1] == data.n_edges
+        for (_, hi), (lo, _) in zip(slices, slices[1:]):
+            assert hi == lo
+
+    def test_edges_sorted_by_source(self):
+        _, data = self.make()
+        assert np.all(np.diff(data.edge_src) >= 0)
+
+    def test_oracle_matches_manual_accumulation(self):
+        _, data = self.make()
+        manual = np.zeros(data.n_vertices)
+        for src, dst in zip(data.edge_src, data.edge_dst):
+            manual[dst] += data.contrib[src]
+        assert np.allclose(manual, data.oracle)
+
+    def test_ranks_initialized_zero(self):
+        _, data = self.make()
+        assert data.ranks().sum() == 0.0
+
+    def test_delta_morph_policy_split(self):
+        """Dense lines apply in place; sparse lines log."""
+        machine, data = self.make()
+        runtime = Leviathan(machine)
+        morph = phi.PhiDeltaMorph(runtime, data)
+        mem = machine.mem
+        # Make objects 0..7 (one line) all dirty -> in-place.
+        for v in range(8):
+            mem[morph.delta_addr(v)] = 1.0
+        machine.run_inline(morph.destruct(morph.views[0], 0, True), 0)
+        assert machine.stats["phi.inplace_applies"] == 1
+        # A lone dirty object in its line -> logged.
+        mem[morph.delta_addr(16)] = 1.0
+        machine.run_inline(morph.destruct(morph.views[0], 16, True), 0)
+        assert machine.stats["phi.logged_updates"] == 1
+
+    def test_log_processing_applies_combined(self):
+        machine, data = self.make()
+        runtime = Leviathan(machine)
+        morph = phi.PhiDeltaMorph(runtime, data)
+        morph.views[2].state["log"] = [(5, 1.5), (5, 0.5), (9, 2.0)]
+        machine.spawn(morph.log_processing_program(2), tile=2)
+        machine.run()
+        assert machine.mem[data.rank_addr(5)] == pytest.approx(2.0)
+        assert machine.mem[data.rank_addr(9)] == pytest.approx(2.0)
+
+
+class TestDecompressInternals:
+    def make(self):
+        machine = Machine(decompress.decompress_config())
+        image = decompress._CompressedImage(
+            machine, dict(n_pixels=512, n_accesses=256, n_threads=2)
+        )
+        return machine, image
+
+    def test_pixel_value_formula(self):
+        _, image = self.make()
+        idx = 13
+        expected = 0
+        for c in range(3):
+            base = int(image.bases[c][idx >> 3])
+            delta = int(image.deltas[c][idx])
+            expected += base + ((delta & 0b1111) << (delta >> 4))
+        assert image.pixel_value(idx) == expected
+
+    def test_compressed_load_ops_cover_channels(self):
+        _, image = self.make()
+        ops = image.compressed_load_ops(5)
+        assert len(ops) == 6  # base + delta per channel
+
+    def test_oracle_sum_deterministic(self):
+        _, a = self.make()
+        _, b = self.make()
+        assert a.oracle_sum() == b.oracle_sum()
+
+    def test_access_slices_cover_all(self):
+        _, image = self.make()
+        slices = image.access_slices()
+        assert slices[0][0] == 0
+        assert slices[-1][1] == len(image.indices)
+
+
+class TestHashtableInternals:
+    def make(self, **overrides):
+        params = dict(
+            n_buckets=8, nodes_per_bucket=4, n_threads=2, lookups_per_thread=4
+        )
+        params.update(overrides)
+        machine = Machine(hashtable.hashtable_config())
+        runtime = Leviathan(machine)
+        return hashtable._Table(machine, runtime, params)
+
+    def test_chains_linked_and_terminated(self):
+        table = self.make()
+        for chain in table.buckets:
+            node = chain[0]
+            count = 0
+            while node is not None:
+                record = table.machine.mem[node.addr]
+                node = record["next"]
+                count += 1
+            assert count == 4
+
+    def test_chains_scattered_in_memory(self):
+        """Consecutive chain nodes are not address-adjacent (shuffled)."""
+        table = self.make(n_buckets=16, nodes_per_bucket=8)
+        adjacent = 0
+        total = 0
+        for head in table.buckets:
+            node = head[0]
+            while True:
+                record = table.machine.mem[node.addr]
+                nxt = record["next"]
+                if nxt is None:
+                    break
+                total += 1
+                if abs(nxt.addr - node.addr) == 64:
+                    adjacent += 1
+                node = nxt
+        assert adjacent < total / 2
+
+    def test_expected_value(self):
+        table = self.make()
+        assert table.expected_value(table._key_of(2, 1)) == table._key_of(2, 1) * 7
+        assert table.expected_value(999_999) == -1
+
+    def test_padded_table_bytes(self):
+        params = dict(
+            hashtable.DEFAULT_PARAMS, n_buckets=4, nodes_per_bucket=4, object_size=24
+        )
+        # 24 B pads to 32 B -> 4*4*32.
+        assert hashtable._padded_table_bytes(params) == 512
+
+    def test_lookup_keys_deterministic(self):
+        a = self.make().lookup_keys()
+        b = self.make().lookup_keys()
+        assert a == b
+
+
+class TestHatsInternals:
+    def make(self, **overrides):
+        params = dict(n_vertices=256, n_edges=2048, n_communities=8, seed=31)
+        params.update(overrides)
+        machine = Machine(hats.hats_config())
+        return machine, hats._HatsData(machine, params)
+
+    def test_csr_edges_complete_and_flagged(self):
+        _, data = self.make()
+        edges = list(data.csr_edges())
+        assert len(edges) == data.graph.n_edges
+        # Exactly one "last" flag per destination with in-edges.
+        lasts = sum(1 for _, _, _, last in edges if last)
+        with_in_edges = sum(1 for v in range(data.graph.n_vertices) if data.graph.in_degree(v))
+        assert lasts == with_in_edges
+
+    def test_bdfs_root_scan_totals(self):
+        """Scan steps count exactly the inactive roots skipped."""
+        _, data = self.make()
+        edges = data.bdfs_edges()
+        total_scans = sum(scan for _, _, scan in edges)
+        # Every vertex is either a root or skipped during the scan;
+        # skipped-before-last-burst counts must not exceed n_vertices.
+        assert 0 < total_scans < data.graph.n_vertices
+
+    def test_bdfs_cached(self):
+        _, data = self.make()
+        assert data.bdfs_edges() is data.bdfs_edges()
+
+    def test_process_edge_groups_by_destination(self):
+        machine, data = self.make()
+        accum = {"dst": None, "sum": 0.0}
+
+        def prog():
+            yield from data.process_edge(1, 7, accum)
+            yield from data.process_edge(2, 7, accum)
+            yield from data.flush_accum(accum)
+
+        machine.spawn(prog(), tile=0)
+        machine.run()
+        expected = float(data.contrib_values[1] + data.contrib_values[2])
+        assert machine.mem[data.new_rank_base + 7 * 8] == pytest.approx(expected)
+
+    def test_traversal_mispredict_rate_reasonable(self):
+        hits = sum(
+            hats._traversal_mispredicts(s, d)
+            for s in range(64)
+            for d in range(16)
+        )
+        rate = hits / (64 * 16)
+        assert 0.2 < rate < 0.55
+
+    def test_breakdown_rows(self):
+        from repro.workloads.common import StudyResult
+
+        _, data = self.make()
+        study = StudyResult(study="x", baseline="baseline")
+        result = hats.run_baseline(dict(n_vertices=256, n_edges=2048, n_communities=8))
+        study.add(result)
+        rows = hats.breakdown(study)
+        assert "baseline" in rows
+        assert "dram_edge" in rows["baseline"]
