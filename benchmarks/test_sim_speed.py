@@ -1,0 +1,77 @@
+"""Wall-clock smoke benchmark: catch simulator slowdowns early.
+
+Times the hash-table workload (both the plain-multicore baseline and
+the Leviathan variant, so both the core path and the engine/offload
+path are covered) and fails if either regresses more than 2x over the
+recorded baseline in ``sim_speed_baseline.json``.
+
+The recorded numbers are deliberately generous (about twice a warm run
+on a development machine), so the guard only trips on real structural
+regressions -- an accidentally-quadratic wait queue, per-access
+allocation on the zero-subscriber event path -- not on runner jitter.
+To re-record after an intentional change, run this file directly::
+
+    PYTHONPATH=src python benchmarks/test_sim_speed.py --record
+"""
+
+import json
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).with_name("sim_speed_baseline.json")
+
+#: Fail when a run exceeds ``REGRESSION_FACTOR`` x the recorded time.
+REGRESSION_FACTOR = 2.0
+
+#: Best-of-N to shed scheduler noise and warmup.
+TRIALS = 3
+
+
+def _load_baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def _time_variant(runner, params, n_tiles):
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        runner(params, n_tiles=n_tiles)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(baseline):
+    from repro.workloads import hashtable
+
+    params = baseline["params"]
+    n_tiles = baseline["n_tiles"]
+    return {
+        "baseline_s": _time_variant(hashtable.run_baseline, params, n_tiles),
+        "leviathan_s": _time_variant(hashtable.run_leviathan, params, n_tiles),
+    }
+
+
+def test_sim_speed_smoke():
+    baseline = _load_baseline()
+    measured = _measure(baseline)
+    for key, seconds in measured.items():
+        budget = baseline[key] * REGRESSION_FACTOR
+        assert seconds <= budget, (
+            f"simulator speed regression: {key} took {seconds:.2f}s, "
+            f"budget {budget:.2f}s ({REGRESSION_FACTOR}x the recorded "
+            f"{baseline[key]:.2f}s baseline). If this slowdown is intentional, "
+            f"re-record with: PYTHONPATH=src python benchmarks/test_sim_speed.py --record"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    baseline = _load_baseline()
+    measured = _measure(baseline)
+    print({k: round(v, 3) for k, v in measured.items()})
+    if "--record" in sys.argv:
+        # Record at 2x the measurement: generous headroom for CI runners.
+        baseline.update({k: round(2 * v, 2) for k, v in measured.items()})
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"recorded to {BASELINE_PATH}")

@@ -17,8 +17,9 @@ Engines access memory through their own small coherent L1d (modeled in
 the hierarchy as a per-tile ``engine_l1``) and share the tile's L2.
 """
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
+from repro.sim.events import EngineTask
 from repro.sim.ops import Condition
 
 #: Payload bytes of a NACK/spill control message.
@@ -40,7 +41,7 @@ class Engine:
         #: Offload task contexts in use (data-triggered actions run
         #: inline at cache fills and use the other half of the buffer).
         self.busy_offload = 0
-        self._queue = []
+        self._queue = deque()
         self.context_freed = Condition(f"engine{tile}.context")
         #: Reverse TLB (Sec. VI-A1): translates cached physical lines
         #: back to virtual addresses before data-triggered actions run.
@@ -90,8 +91,12 @@ class Engine:
         task = _PendingTask(program, name, on_accept, on_complete, near_memory)
         if self.has_free_context:
             self._accept(task, at_time)
+            if self.machine.events.active:
+                self.machine.events.emit(EngineTask(self.tile, name, True))
             return True
         self.machine.stats.add("engine.nacks")
+        if self.machine.events.active:
+            self.machine.events.emit(EngineTask(self.tile, name, False))
         self._queue.append(task)
         return False
 
@@ -122,7 +127,7 @@ class Engine:
     def _release(self):
         self.busy_offload -= 1
         if self._queue:
-            task = self._queue.pop(0)
+            task = self._queue.popleft()
             # The queued task starts when the context frees (now).
             self._accept(task, self.machine.now)
         else:

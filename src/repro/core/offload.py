@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import NACK_BYTES
 from repro.core.future import Future
+from repro.sim.events import InvokeDispatched
 from repro.sim.ops import Condition, Op, Park
 
 #: Base packet bytes for an invoke: actor pointer + function pointer + flags.
@@ -124,6 +125,17 @@ class Invoke(Op):
         self.result = future
 
         target, inline_at_core, near_memory = self._place(machine, runtime, ctx)
+        if machine.events.active:
+            machine.events.emit(
+                InvokeDispatched(
+                    ctx.tile,
+                    target,
+                    self.action,
+                    self.location.value,
+                    inline_at_core,
+                    near_memory,
+                )
+            )
 
         # The action generator; actions receive the runtime as ``env``.
         program = self.actor.action_fn(self.action)(runtime, *self.args)

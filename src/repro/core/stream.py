@@ -19,6 +19,7 @@ which returns :data:`STREAM_END` when the producer finishes.
 """
 
 from repro.core.morph import Morph
+from repro.sim.events import StreamPop, StreamPush
 from repro.sim.ops import Compute, Condition, Load, Store, Wait
 
 #: Returned by ``consume`` when the producer has terminated and the
@@ -154,6 +155,8 @@ class Stream(Morph):
         self.machine.mem[self.get_actor_addr(index)] = obj
         self.tail += 1
         self.machine.stats.add("stream.pushes")
+        if self.machine.events.active:
+            self.machine.events.emit(StreamPush(self.name, index))
         self.machine.wake_all(self.data_avail)
 
     # ------------------------------------------------------------------
@@ -196,7 +199,10 @@ class Stream(Morph):
         """The pop instruction: bump the head, notify the engine per line."""
         self.head = index + 1
         self.machine.stats.add("stream.pops")
-        if self.head % self.entries_per_line == 0 or self.head >= self.tail:
+        messaged = self.head % self.entries_per_line == 0 or self.head >= self.tail
+        if self.machine.events.active:
+            self.machine.events.emit(StreamPop(self.name, index, messaged))
+        if messaged:
             # Crossed into a new line: message the producing engine to
             # bump its head pointer and invalidate the old stream head.
             self.machine.hierarchy.noc.send(

@@ -116,14 +116,43 @@ def run_fig18(params=None, sizes=(24, 64, 128)):
         speedups = study.speedups()
         savings = study.energy_savings()
         by_size[size] = (speedups, savings, study)
-        for name in study.results:
+        for name, result in study.results.items():
+            # Per-level attribution from the run's AccessProfile: where
+            # each variant's chain-walk loads were actually served.
             exp.add_row(
                 object_size=size,
                 variant=name,
                 speedup=speedups[name],
                 energy_savings_pct=savings[name] * 100,
+                l1_hits=result.accesses("l1", "hit"),
+                engine_l1_hits=result.accesses("engine_l1", "hit"),
+                llc_hits=result.accesses("llc", "hit"),
+                dram_fills=result.accesses("dram", "fill"),
             )
     lev = [by_size[s][0]["leviathan"] for s in sizes]
+    headline = sizes[len(sizes) // 2] if sizes else None
+    if headline is not None:
+        base_r = by_size[headline][2]["baseline"]
+        lev_r = by_size[headline][2]["leviathan"]
+        exp.expect(
+            "offloaded lookups run at engines (engine-L1 traffic appears)",
+            "greater",
+            lev_r.accesses("engine_l1"),
+            0,
+        )
+        exp.expect(
+            "baseline has no engine-side accesses",
+            "between",
+            base_r.accesses("engine_l1"),
+            0,
+            0,
+        )
+        exp.expect(
+            "the table is LLC-resident: most node loads hit the LLC, not DRAM",
+            "greater",
+            lev_r.accesses("llc", "hit") - lev_r.accesses("dram", "fill"),
+            0,
+        )
     exp.expect("Leviathan wins at every size", "greater", min(lev), 1.1)
     exp.expect(
         "performance is consistent across sizes (max/min < 1.5)",

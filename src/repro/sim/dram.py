@@ -10,6 +10,8 @@ map to the same *DRAM* line, and the FIFO cache absorbs the repeats
 
 from collections import OrderedDict
 
+from repro.sim.events import DramAccess, EventBus
+
 
 class FifoCache:
     """A small FIFO cache of DRAM lines at one memory controller."""
@@ -50,10 +52,11 @@ class MemoryController:
     #: Latency of a hit in the FIFO cache (SRAM probe, far below DRAM).
     FIFO_HIT_LATENCY = 6
 
-    def __init__(self, index, config, stats, line_bytes=64):
+    def __init__(self, index, config, stats, line_bytes=64, bus=None):
         self.index = index
         self.config = config.memory
         self.stats = stats
+        self.bus = bus if bus is not None else EventBus()
         self.fifo = FifoCache(self.config.fifo_lines)
         self.line_bytes = line_bytes
         self._busy_until = 0.0
@@ -77,10 +80,16 @@ class MemoryController:
                 # combiner for compacted objects, not a write-back cache.
                 self.stats.add("dram.accesses")
                 self.stats.add("dram.writes")
+                if self.bus.active:
+                    self.bus.emit(DramAccess(self.index, dram_line, True, True, True))
                 return self._queue_for_service(now) + self.config.latency
+            if self.bus.active:
+                self.bus.emit(DramAccess(self.index, dram_line, False, True, False))
             return self.FIFO_HIT_LATENCY
         self.stats.add("dram.accesses")
         self.stats.add("dram.writes" if is_write else "dram.reads")
+        if self.bus.active:
+            self.bus.emit(DramAccess(self.index, dram_line, is_write, False, True))
         if not is_write:
             self.fifo.insert(dram_line)
         return self._queue_for_service(now) + self.config.latency
@@ -89,12 +98,14 @@ class MemoryController:
 class MemorySystem:
     """All memory controllers; lines are interleaved across controllers."""
 
-    def __init__(self, config, stats, noc):
+    def __init__(self, config, stats, noc, bus=None):
         self.config = config
         self.stats = stats
         self.noc = noc
+        bus = bus if bus is not None else EventBus()
+        self.bus = bus
         self.controllers = [
-            MemoryController(i, config, stats, line_bytes=config.line_size)
+            MemoryController(i, config, stats, line_bytes=config.line_size, bus=bus)
             for i in range(config.memory.controllers)
         ]
         # Controllers sit at evenly spaced tiles (edge attachment).

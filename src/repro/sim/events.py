@@ -1,0 +1,252 @@
+"""The unified event bus: typed machine events and their subscribers.
+
+Every component of the machine (hierarchy, NoC, DRAM, engines, offload,
+streams) *emits* typed events on the :class:`EventBus` owned by the
+machine; observability tools -- the tracer (:mod:`repro.sim.trace`),
+access profiles (:class:`repro.sim.stats.AccessProfile`), live energy
+metering (:class:`repro.sim.energy.EnergyMeter`) -- *subscribe* instead
+of being hardwired into the hot paths.
+
+Emission is guard-checked: components test ``bus.active`` (a plain
+attribute) before constructing an event, so a machine with **zero
+subscribers pays one attribute load and branch per emit point** and
+never allocates an event object. Attaching any subscriber flips the
+guard; events are then constructed and dispatched to the handlers
+registered for their exact type.
+
+Subscribers must not advance simulated time or mutate machine state:
+the bus is an observability plane, and simulations are bit-identical
+with and without subscribers attached.
+
+Example -- count evictions per address region::
+
+    from repro.sim.events import Eviction
+
+    hot = range(base // 64, bound // 64)
+    evictions = 0
+
+    def on_evict(event):
+        nonlocal evictions
+        if event.line in hot:
+            evictions += 1
+
+    machine.events.subscribe(Eviction, on_evict)
+    ... run ...
+    machine.events.unsubscribe(Eviction, on_evict)
+"""
+
+from dataclasses import dataclass
+
+
+class EventBus:
+    """A subscriber registry dispatching typed events by exact type.
+
+    ``active`` is True whenever at least one subscriber is registered
+    (for any event type); emitters use it as the cheap guard before
+    constructing an event.
+    """
+
+    __slots__ = ("_handlers", "active")
+
+    def __init__(self):
+        #: event type -> tuple of handlers (tuples make dispatch
+        #: allocation-free and snapshot-safe against unsubscription
+        #: from inside a handler).
+        self._handlers = {}
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def subscribe(self, event_type, handler):
+        """Register ``handler`` to receive events of ``event_type``.
+
+        Returns ``handler`` so callers can keep the reference needed to
+        unsubscribe. Subscribing the same handler twice delivers each
+        event twice.
+        """
+        self._handlers[event_type] = self._handlers.get(event_type, ()) + (handler,)
+        self.active = True
+        return handler
+
+    def unsubscribe(self, event_type, handler):
+        """Remove every registration of ``handler`` for ``event_type``.
+
+        Unsubscribing a handler that is not registered is a no-op, so
+        detach paths are idempotent by construction. Comparison is by
+        equality, so bound methods (a fresh object per attribute access)
+        unsubscribe correctly.
+        """
+        remaining = tuple(
+            h for h in self._handlers.get(event_type, ()) if h != handler
+        )
+        if remaining:
+            self._handlers[event_type] = remaining
+        else:
+            self._handlers.pop(event_type, None)
+        self.active = bool(self._handlers)
+
+    def wants(self, event_type):
+        """True if at least one subscriber listens for ``event_type``."""
+        return event_type in self._handlers
+
+    def subscriber_count(self, event_type=None):
+        """Number of registrations (for ``event_type``, or in total)."""
+        if event_type is not None:
+            return len(self._handlers.get(event_type, ()))
+        return sum(len(handlers) for handlers in self._handlers.values())
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def emit(self, event):
+        """Deliver ``event`` to the subscribers of its exact type."""
+        for handler in self._handlers.get(type(event), ()):
+            handler(event)
+
+    def __repr__(self):
+        return f"EventBus({self.subscriber_count()} subscribers)"
+
+
+# ----------------------------------------------------------------------
+# the event vocabulary
+# ----------------------------------------------------------------------
+@dataclass
+class MemoryAccess:
+    """One completed :meth:`Hierarchy.access` request (all lines).
+
+    ``result`` is the :class:`~repro.sim.access.AccessResult` carrying
+    the per-level outcome breakdown and the request's latency.
+    """
+
+    tile: int
+    addr: int
+    size: int
+    is_write: bool
+    engine: bool
+    near_memory: bool
+    result: object
+
+
+@dataclass
+class CacheAccess:
+    """A lookup at one cache level (L1, L2, engine L1d, or an LLC bank).
+
+    ``tile`` is the tile (or LLC bank) holding the cache. One event is
+    emitted per ``<level>.accesses`` counter increment, so subscribers
+    can reproduce the energy model's cache terms exactly.
+    """
+
+    level: str
+    tile: int
+    line: int
+    hit: bool
+    is_write: bool
+    engine: bool
+
+
+@dataclass
+class CoherenceAction:
+    """A directory action: 'upgrade', 'ping_pong', 'invalidation', 'recall'."""
+
+    kind: str
+    line: int
+    bank: int
+    tile: int
+
+
+@dataclass
+class Eviction:
+    """A victim leaving a cache (capacity eviction, recall, or flush)."""
+
+    level: str
+    tile: int
+    line: int
+    dirty: bool
+    morph: bool
+
+
+@dataclass
+class DramAccess:
+    """One DRAM-line access at a memory controller.
+
+    ``fifo_hit`` marks a hit in the controller's FIFO cache;
+    ``dram_cycled`` is True when the DRAM itself was accessed (the
+    ``dram.accesses`` counter's semantics: FIFO read hits do not cycle
+    DRAM, write hits still drain to it).
+    """
+
+    controller: int
+    dram_line: int
+    is_write: bool
+    fifo_hit: bool
+    dram_cycled: bool
+
+
+@dataclass
+class FlitHop:
+    """One NoC message; traffic cost is ``flits * hops`` flit-hops."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    flits: int
+    hops: int
+
+
+@dataclass
+class MorphConstruct:
+    """A data-triggered constructor handled a fill at ``level``."""
+
+    level: str
+    tile: int
+    line: int
+
+
+@dataclass
+class MorphDestruct:
+    """A data-triggered destructor was queued for an evicted morph line."""
+
+    level: str
+    tile: int
+    line: int
+    dirty: bool
+
+
+@dataclass
+class InvokeDispatched:
+    """An ``invoke`` chose its executing tile (Sec. V-B1 placement)."""
+
+    tile: int
+    target: int
+    action: str
+    location: str
+    inline: bool
+    near_memory: bool
+
+
+@dataclass
+class EngineTask:
+    """An offloaded task arrived at an engine (accepted or NACKed)."""
+
+    tile: int
+    name: str
+    accepted: bool
+
+
+@dataclass
+class StreamPush:
+    """A producer pushed one entry into a stream's circular buffer."""
+
+    stream: str
+    index: int
+
+
+@dataclass
+class StreamPop:
+    """A consumer popped one entry; ``messaged`` marks a head-pointer
+    message to the producing engine (sent once per line crossed)."""
+
+    stream: str
+    index: int
+    messaged: bool

@@ -1,17 +1,36 @@
-"""The memory hierarchy: L1s, L2s, banked inclusive LLC, DRAM.
+"""The memory hierarchy: a layered access-path pipeline.
 
-This module implements the access path every load/store takes, including
-directory coherence (upgrade, invalidation, ping-pong costs), the mesh
-NoC transfers between tiles, banks and memory controllers, the L2
-strided prefetcher, and -- crucially for Leviathan -- the *hook points*
-where the runtime interposes:
+An access enters :meth:`Hierarchy.access` as a
+:class:`~repro.sim.access.MemoryRequest` per cache line and walks three
+focused components, each owning one slice of the path:
+
+- :class:`PrivateCachePath`: per-tile L1s, L2s, the engines' small
+  coherent L1ds, and the L2 strided prefetchers;
+- :class:`SharedCachePath`: the banked inclusive LLC with its
+  in-directory coherence (upgrades, invalidations, ping-pong costs);
+- the DRAM/MC path (:class:`~repro.sim.dram.MemorySystem`): memory
+  controllers with their FIFO caches, reached over the mesh NoC;
+- :class:`FillEngine`: the fill/evict seam where the Leviathan runtime
+  interposes -- data-triggered constructors on misses (phantom fills,
+  Sec. V-B2), destructors on evictions (queued on the pending-actor
+  buffer and drained off the critical path), and prefetch flow control.
+
+Each component records a per-level outcome on the request and
+accumulates latency; :meth:`Hierarchy.access` folds the per-line
+requests into an :class:`~repro.sim.access.AccessResult`. All
+components emit typed events on the machine's
+:class:`~repro.sim.events.EventBus` (guard-checked: free with no
+subscribers), which is how tracing, access profiles, and live energy
+metering observe the pipeline without touching it.
+
+The runtime interposes through ``hierarchy.hooks``
+(:class:`HierarchyHooks`):
 
 - ``hooks.bank_shift(line)``: how many low line-index bits the LLC
   bank-index function ignores (LLC object mapping, Sec. VI-A3);
 - ``hooks.translate(line)``: cache-line -> DRAM-line translation (DRAM
   object compaction, Sec. VI-A3);
-- ``hooks.on_miss(level, tile, line)``: data-triggered constructors
-  (phantom fills, Sec. V-B2);
+- ``hooks.on_miss(level, tile, line)``: data-triggered constructors;
 - ``hooks.on_evict(level, tile, line, dirty)``: data-triggered
   destructors;
 - ``hooks.allow_prefetch(level, tile, line)``: stream flow control for
@@ -21,9 +40,18 @@ The default hooks make the hierarchy a plain multicore -- the baseline
 every case study compares against.
 """
 
+from repro.sim.access import MemoryRequest, AccessResult
 from repro.sim.cache import SetAssocCache
 from repro.sim.coherence import Directory
 from repro.sim.dram import MemorySystem
+from repro.sim.events import (
+    CacheAccess,
+    CoherenceAction,
+    Eviction,
+    MemoryAccess,
+    MorphConstruct,
+    MorphDestruct,
+)
 from repro.sim.noc import MeshNoc
 from repro.sim.prefetch import StridePrefetcher
 
@@ -79,434 +107,33 @@ class HierarchyHooks:
         return True
 
 
-class Hierarchy:
-    """All caches plus the access path connecting them."""
+class FillEngine:
+    """The fill/evict seam: morph hooks and the pending-actor buffer.
 
-    def __init__(self, machine):
-        self.machine = machine
-        cfg = machine.config
-        self.config = cfg
-        self.stats = machine.stats
-        self.line_size = cfg.line_size
-        self.noc = MeshNoc(cfg, self.stats)
-        self.mem = MemorySystem(cfg, self.stats, self.noc)
-        self.dir = Directory(self.stats)
+    Constructors run inline (their latency is on the fill's critical
+    path); destructors queue here and drain off the critical path after
+    the access that evicted them, which also breaks
+    destructor->store->eviction->destructor recursion -- the paper's
+    per-engine "data-triggered buffer" (Table IV).
+    """
+
+    def __init__(self, hierarchy):
+        self.h = hierarchy
+        self.stats = hierarchy.stats
+        self.bus = hierarchy.bus
         self.hooks = HierarchyHooks()
-
-        def build(cache_cfg, name, tile, index_shift=0):
-            return SetAssocCache(
-                cache_cfg.sets(cfg.line_size),
-                cache_cfg.ways,
-                policy=cache_cfg.replacement,
-                name=f"{name}{tile}",
-                index_shift=index_shift,
-            )
-
-        n = cfg.n_tiles
-        bank_bits = (n - 1).bit_length()
-        self.l1 = [build(cfg.l1, "l1.", t) for t in range(n)]
-        self.l2 = [build(cfg.l2, "l2.", t) for t in range(n)]
-        # LLC banks index sets above the bank-select bits (which would
-        # otherwise alias onto one set per bank).
-        self.llc = [build(cfg.llc, "llc.", t, index_shift=bank_bits) for t in range(n)]
-        engine_l1_cfg = _engine_l1_config(cfg)
-        self.engine_l1 = [build(engine_l1_cfg, "el1.", t) for t in range(n)]
-        self.prefetchers = [StridePrefetcher(t, cfg.line_size) for t in range(n)]
         self._hook_depth = 0
-        #: Pending data-triggered destructors (the paper's per-engine
-        #: "data-triggered buffer", Table IV): destructors execute off
-        #: the critical path after the access that evicted them, which
-        #: also breaks destructor->store->eviction->destructor recursion.
         self._pending_destructors = []
-
-    # ------------------------------------------------------------------
-    # address mapping
-    # ------------------------------------------------------------------
-    def line_of(self, addr):
-        return addr // self.line_size
-
-    def bank_of(self, line):
-        """LLC bank for ``line``, honoring Leviathan's LSB-ignore mapping."""
-        shift = self.hooks.bank_shift(line)
-        return (line >> shift) % self.config.n_tiles
-
-    # ------------------------------------------------------------------
-    # probes (no state change; used by DYNAMIC invoke placement)
-    # ------------------------------------------------------------------
-    def tile_has_private(self, tile, line):
-        return (
-            self.l1[tile].contains(line)
-            or self.l2[tile].contains(line)
-            or self.engine_l1[tile].contains(line)
-        )
-
-    def llc_has(self, line):
-        return self.llc[self.bank_of(line)].contains(line)
-
-    def owner_of(self, line):
-        return self.dir.owner_of(line)
-
-    # ------------------------------------------------------------------
-    # the access path
-    # ------------------------------------------------------------------
-    def access(self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False):
-        """Perform an access; returns its latency in cycles.
-
-        Multi-line accesses are overlapped: the latency is that of the
-        slowest line, but every line's events are accounted.
-
-        ``apply`` (a zero-argument callable) is the access's functional
-        side effect. It runs after the cache access but *before* queued
-        destructors drain, so a destructor for this very line (evicted
-        by the access's own fills) observes the applied value.
-        """
-        first = self.line_of(addr)
-        last = self.line_of(addr + max(size, 1) - 1)
-        latency = 0
-        for line in range(first, last + 1):
-            latency = max(
-                latency,
-                self._access_line(tile, line, is_write, engine, near_memory),
-            )
-        if apply is not None:
-            apply()
-        if self._hook_depth == 0:
-            self._drain_destructors()
-        return latency
-
-    def _access_line(self, tile, line, is_write, engine, near_memory=False):
-        if engine:
-            return self._engine_access_line(tile, line, is_write, near_memory)
-        self.stats.add("l1.accesses")
-        entry = self.l1[tile].lookup(line)
-        if entry is not None:
-            latency = self.config.l1.hit_latency
-            if is_write:
-                entry.dirty = True
-                latency += self._ensure_ownership(tile, line)
-            return latency
-
-        latency = self.config.l1.tag_latency
-
-        self.stats.add("l2.accesses")
-        l2 = self.l2[tile]
-        l2_entry = l2.lookup(line)
-        if l2_entry is not None:
-            latency += self.config.l2.hit_latency
-            if is_write:
-                latency += self._ensure_ownership(tile, line)
-            self._fill_private(tile, line, is_write, False, morph=l2_entry.morph)
-            return latency
-        latency += self.config.l2.tag_latency
-
-        # L2-level morph: phantom fill constructed by this tile's engine.
-        result = self._run_on_miss("l2", tile, line)
-        if result is not None:
-            latency += result.latency
-            for obj_line in result.lines:
-                self._insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
-            self._fill_private(tile, line, is_write, False, morph=True)
-            self.stats.add("morph.l2_constructions")
-            return latency
-
-        latency += self._llc_access(tile, line, is_write)
-        self._insert_l2(tile, line, dirty=False, morph=False)
-        self._fill_private(tile, line, is_write, False, morph=False)
-        self.dir.record_fill(line, tile, exclusive=is_write)
-        # Prefetches issue after the demand miss resolves (issuing them
-        # first could evict the demanded line between its directory and
-        # data lookups).
-        if self.config.l2_prefetcher:
-            self._train_prefetcher(tile, line)
-        return latency
-
-    def _engine_access_line(self, tile, line, is_write, near_memory=False):
-        """An engine-side access (Sec. VI-A1's clustered coherence).
-
-        The engine L1d and the tile's L2 snoop each other but are
-        separate caches: an engine miss snoops the L2 (without filling
-        it) and otherwise goes straight to the LLC, so engine traffic
-        does not displace the core's working set.
-
-        ``near_memory`` tasks (the Sec. IX extension) read uncached
-        lines directly from their memory controller, bypassing the LLC
-        entirely -- the engine sits at the controller, so the transfer
-        crosses no NoC links.
-        """
-        if self.hooks.morph_level(line) == "llc":
-            # Near-data actions operate on LLC-resident phantom objects
-            # *in the LLC bank* (PHI's RMW tasks update the cached
-            # deltas directly, Sec. IV-B); bypassing the engine L1d
-            # keeps the reuse visible to the LLC's replacement policy.
-            return 1 + self._llc_access(tile, line, is_write)
-        self.stats.add("engine_l1.accesses")
-        entry = self.engine_l1[tile].lookup(line)
-        if entry is not None:
-            latency = 2  # small, near-engine SRAM
-            if is_write:
-                entry.dirty = True
-                latency += self._ensure_ownership(tile, line)
-            return latency
-
-        latency = 1
-        # Snoop the on-tile L2 (no fill -- the caches stay distinct).
-        self.stats.add("l2.accesses")
-        l2_entry = self.l2[tile].lookup(line)
-        if l2_entry is not None:
-            latency += self.config.l2.hit_latency
-            if is_write:
-                latency += self._ensure_ownership(tile, line)
-            self._fill_private(tile, line, is_write, True, morph=l2_entry.morph)
-            return latency
-
-        if near_memory and not self.llc_has(line) and self.dir.peek(line) is None:
-            # Direct DRAM read at the controller; the line is cached
-            # only in the near-memory engine's L1d, never in the LLC.
-            dram_lines = self.hooks.translate(line)
-            latency += self.mem.access(
-                tile,
-                dram_lines,
-                is_write=False,
-                payload_bytes=DATA_BYTES,
-                now=self.machine.scheduler.now,
-            )
-            self.stats.add("near_memory.direct_accesses")
-            self._fill_private(tile, line, is_write, True, morph=False)
-            return latency
-
-        latency += self._llc_access(tile, line, is_write)
-        self._fill_private(tile, line, is_write, True, morph=False)
-        self.dir.record_fill(line, tile, exclusive=is_write)
-        return latency
-
-    def _llc_access(self, requester_tile, line, is_write):
-        """Access ``line`` at its LLC bank on behalf of ``requester_tile``."""
-        bank = self.bank_of(line)
-        latency = self.noc.send(requester_tile, bank, CTRL_BYTES)
-        self.stats.add("llc.accesses")
-        latency += self._resolve_coherence(bank, requester_tile, line, is_write)
-
-        llc = self.llc[bank]
-        entry = llc.lookup(line)
-        if entry is not None:
-            self.stats.add("llc.hits")
-            latency += self.config.llc.hit_latency
-            if is_write:
-                entry.dirty = True
-            latency += self.noc.send(bank, requester_tile, DATA_BYTES)
-            return latency
-
-        self.stats.add("llc.misses")
-        latency += self.config.llc.tag_latency
-
-        result = self._run_on_miss("llc", bank, line)
-        if result is not None:
-            latency += result.latency
-            for obj_line in result.lines:
-                self._insert_llc(bank, obj_line, dirty=result.dirty or is_write, morph=True)
-            self.stats.add("morph.llc_constructions")
-        else:
-            dram_lines = self.hooks.translate(line)
-            latency += self.mem.access(
-                bank,
-                dram_lines,
-                is_write=False,
-                payload_bytes=DATA_BYTES,
-                now=self.machine.scheduler.now,
-            )
-            self._insert_llc(bank, line, dirty=is_write, morph=False)
-
-        latency += self.noc.send(bank, requester_tile, DATA_BYTES)
-        return latency
-
-    # ------------------------------------------------------------------
-    # coherence
-    # ------------------------------------------------------------------
-    def _ensure_ownership(self, tile, line):
-        """Charge an upgrade if ``tile`` writes a line it does not own."""
-        if self.dir.owner_of(line) == tile:
-            return 0
-        ent = self.dir.peek(line)
-        if ent is None:
-            # Phantom (L2-morph) lines are tile-private; no directory state.
-            return 0
-        bank = self.bank_of(line)
-        latency = self.noc.round_trip(tile, bank, CTRL_BYTES, CTRL_BYTES)
-        self.stats.add("coherence.upgrades")
-        latency += self._invalidate_sharers(bank, line, keep_tile=tile)
-        self.dir.record_fill(line, tile, exclusive=True)
-        return latency
-
-    def _resolve_coherence(self, bank, requester_tile, line, is_write):
-        """Directory actions before the LLC satisfies a fill request."""
-        ent = self.dir.peek(line)
-        if ent is None:
-            return 0
-        latency = 0
-        owner = ent.owner
-        if owner is not None and owner != requester_tile:
-            # Another tile holds the line modified: fetch and write back.
-            self.stats.add("coherence.ping_pongs")
-            latency += self.noc.send(bank, owner, CTRL_BYTES)
-            latency += self.noc.send(owner, bank, DATA_BYTES)
-            self._drop_private(owner, line)
-            self.dir.record_private_eviction(line, owner)
-            llc_entry = self.llc[bank].lookup(line, touch=False)
-            if llc_entry is not None:
-                llc_entry.dirty = True
-        if is_write:
-            latency += self._invalidate_sharers(bank, line, keep_tile=requester_tile)
-        return latency
-
-    def _invalidate_sharers(self, bank, line, keep_tile):
-        latency = 0
-        for sharer in sorted(self.dir.sharers_of(line)):
-            if sharer == keep_tile:
-                continue
-            self.stats.add("coherence.invalidations")
-            latency = max(
-                latency, self.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
-            )
-            self._drop_private(sharer, line)
-            self.dir.record_private_eviction(line, sharer)
-        return latency
-
-    def _drop_private(self, tile, line):
-        """Remove ``line`` from every private cache on ``tile``."""
-        for cache in (self.l1[tile], self.l2[tile], self.engine_l1[tile]):
-            cache.invalidate(line)
-
-    # ------------------------------------------------------------------
-    # fills and evictions
-    # ------------------------------------------------------------------
-    def _fill_private(self, tile, line, is_write, engine, morph):
-        private = self.engine_l1[tile] if engine else self.l1[tile]
-        victim = private.insert(line, dirty=is_write, morph=morph)
-        if victim is not None:
-            if engine:
-                self._evict_engine_l1(tile, victim)
-            else:
-                self._evict_private_l1(tile, victim)
-        if is_write and not morph:
-            self.dir.record_fill(line, tile, exclusive=True)
-        elif not morph:
-            self.dir.record_fill(line, tile, exclusive=False)
-
-    def _evict_private_l1(self, tile, victim):
-        if victim.dirty:
-            # Write back into the L2 (which may cascade).
-            self._insert_l2(tile, victim.line, dirty=True, morph=victim.morph)
-        self._maybe_release_sharer(tile, victim.line)
-
-    def _evict_engine_l1(self, tile, victim):
-        """Engine L1d victims write back to the LLC, not the core's L2."""
-        line = victim.line
-        if victim.morph:
-            # A phantom (L2-morph) line cached by the engine: destruct.
-            self._pending_destructors.append(("l2", tile, line, victim.dirty))
-            self.stats.add("morph.l2_destructions")
-            self._maybe_release_sharer(tile, line)
-            return
-        if victim.dirty:
-            bank = self.bank_of(line)
-            self.noc.send(tile, bank, DATA_BYTES)
-            self.stats.add("llc.accesses")
-            llc_entry = self.llc[bank].lookup(line, touch=False)
-            if llc_entry is not None:
-                llc_entry.dirty = True
-            else:
-                self._insert_llc(bank, line, dirty=True, morph=False)
-        self._maybe_release_sharer(tile, line)
-
-    def _insert_l2(self, tile, line, dirty, morph):
-        l2 = self.l2[tile]
-        existing = l2.lookup(line, touch=False)
-        if existing is not None:
-            existing.dirty = existing.dirty or dirty
-            existing.morph = existing.morph or morph
-            return
-        victim = l2.insert(line, dirty=dirty, morph=morph)
-        if victim is not None:
-            self._evict_l2(tile, victim)
-
-    def _evict_l2(self, tile, victim):
-        line = victim.line
-        # Enforce L1 (and engine L1d) inclusion within the tile.
-        l1_entry = self.l1[tile].invalidate(line)
-        e1_entry = self.engine_l1[tile].invalidate(line)
-        dirty = victim.dirty or bool(l1_entry and l1_entry.dirty) or bool(
-            e1_entry and e1_entry.dirty
-        )
-        if victim.morph:
-            # Phantom line registered at the L2: queue its destructor on
-            # this tile's engine; nothing is written down the hierarchy.
-            self._pending_destructors.append(("l2", tile, line, dirty))
-            self.stats.add("morph.l2_destructions")
-            return
-        if dirty:
-            bank = self.bank_of(line)
-            self.noc.send(tile, bank, DATA_BYTES)
-            self.stats.add("llc.accesses")
-            llc_entry = self.llc[bank].lookup(line, touch=False)
-            if llc_entry is not None:
-                llc_entry.dirty = True
-            else:
-                self._insert_llc(bank, line, dirty=True, morph=False)
-        self._maybe_release_sharer(tile, line)
-
-    def _maybe_release_sharer(self, tile, line):
-        if not self.tile_has_private(tile, line):
-            self.dir.record_private_eviction(line, tile)
-
-    def _insert_llc(self, bank, line, dirty, morph):
-        llc = self.llc[bank]
-        existing = llc.lookup(line, touch=False)
-        if existing is not None:
-            existing.dirty = existing.dirty or dirty
-            existing.morph = existing.morph or morph
-            return
-        victim = llc.insert(line, dirty=dirty, morph=morph)
-        if victim is not None:
-            self._evict_llc(bank, victim)
-
-    def _evict_llc(self, bank, victim):
-        line = victim.line
-        # Inclusive LLC: recall private copies everywhere.
-        dirty = victim.dirty
-        for sharer in sorted(self.dir.sharers_of(line)):
-            self.stats.add("coherence.recalls")
-            self.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
-            for cache in (self.l1[sharer], self.l2[sharer], self.engine_l1[sharer]):
-                dropped = cache.invalidate(line)
-                if dropped is not None and dropped.dirty:
-                    dirty = True
-        self.dir.drop(line)
-        if victim.morph:
-            # Destructor (off the critical path; its engine work is
-            # accounted, its latency absorbed by the actor buffer).
-            self._pending_destructors.append(("llc", bank, line, dirty))
-            self.stats.add("morph.llc_destructions")
-            return
-        if dirty:
-            dram_lines = self.hooks.translate(line)
-            self.mem.access(
-                bank,
-                dram_lines,
-                is_write=True,
-                payload_bytes=DATA_BYTES,
-                now=self.machine.scheduler.now,
-            )
-            self.stats.add("llc.writebacks")
 
     # ------------------------------------------------------------------
     # hooks with recursion guard
     # ------------------------------------------------------------------
-    def _run_on_miss(self, level, tile, line):
+    def run_on_miss(self, level, tile, line):
         # A constructor must never run while the destructor of an
         # earlier eviction of the same line is still queued (it would
         # reset state the destructor has yet to persist) -- drain first.
         if self._hook_depth == 0 and self._pending_destructors:
-            self._drain_destructors()
+            self.drain_destructors()
         if self._hook_depth >= MAX_HOOK_DEPTH:
             raise RuntimeError(
                 f"morph hook recursion exceeded {MAX_HOOK_DEPTH} at line {line:#x}"
@@ -517,7 +144,20 @@ class Hierarchy:
         finally:
             self._hook_depth -= 1
 
-    def _drain_destructors(self):
+    def run_on_miss_if_allowed(self, tile, line):
+        if not self.hooks.allow_prefetch("l2", tile, line):
+            self.stats.add("prefetch.nacked")
+            return _PREFETCH_DENIED
+        return self.run_on_miss("l2", tile, line)
+
+    def queue_destructor(self, level, tile, line, dirty):
+        """Queue a data-triggered destructor on the pending-actor buffer."""
+        self._pending_destructors.append((level, tile, line, dirty))
+        self.stats.add(f"morph.{level}_destructions")
+        if self.bus.active:
+            self.bus.emit(MorphDestruct(level, tile, line, dirty))
+
+    def drain_destructors(self):
         """Run queued destructors until none remain.
 
         Destructors may themselves store (evicting further morph lines);
@@ -539,36 +179,638 @@ class Hierarchy:
         finally:
             self._hook_depth -= 1
 
+
+class PrivateCachePath:
+    """Per-tile private caches: L1s, L2s, engine L1ds, L2 prefetchers."""
+
+    def __init__(self, hierarchy):
+        self.h = hierarchy
+        cfg = hierarchy.config
+        self.config = cfg
+        self.stats = hierarchy.stats
+        self.bus = hierarchy.bus
+        n = cfg.n_tiles
+        self.l1 = [hierarchy.build_cache(cfg.l1, "l1.", t) for t in range(n)]
+        self.l2 = [hierarchy.build_cache(cfg.l2, "l2.", t) for t in range(n)]
+        engine_l1_cfg = _engine_l1_config(cfg)
+        self.engine_l1 = [
+            hierarchy.build_cache(engine_l1_cfg, "el1.", t) for t in range(n)
+        ]
+        self.prefetchers = [StridePrefetcher(t, cfg.line_size) for t in range(n)]
+
+    def link(self, shared, fill_engine):
+        """Wire the cross-component references (called once by the facade)."""
+        self.shared = shared
+        self.fill = fill_engine
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def tile_has_private(self, tile, line):
+        return (
+            self.l1[tile].contains(line)
+            or self.l2[tile].contains(line)
+            or self.engine_l1[tile].contains(line)
+        )
+
+    # ------------------------------------------------------------------
+    # the core demand path
+    # ------------------------------------------------------------------
+    def access_line(self, req):
+        """Walk a core access through L1 -> L2 -> (morph | shared path)."""
+        cfg = self.config
+        stats = self.stats
+        bus = self.bus
+        tile, line, is_write = req.tile, req.line, req.is_write
+
+        stats.add("l1.accesses")
+        entry = self.l1[tile].lookup(line)
+        if bus.active:
+            bus.emit(CacheAccess("l1", tile, line, entry is not None, is_write, False))
+        if entry is not None:
+            req.record("l1", "hit")
+            req.latency += cfg.l1.hit_latency
+            if is_write:
+                entry.dirty = True
+                req.latency += self.shared.ensure_ownership(tile, line)
+            return
+        req.record("l1", "miss")
+        req.latency += cfg.l1.tag_latency
+
+        stats.add("l2.accesses")
+        l2_entry = self.l2[tile].lookup(line)
+        if bus.active:
+            bus.emit(
+                CacheAccess("l2", tile, line, l2_entry is not None, is_write, False)
+            )
+        if l2_entry is not None:
+            req.record("l2", "hit")
+            req.latency += cfg.l2.hit_latency
+            if is_write:
+                req.latency += self.shared.ensure_ownership(tile, line)
+            self.fill_private(tile, line, is_write, False, morph=l2_entry.morph)
+            return
+        req.record("l2", "miss")
+        req.latency += cfg.l2.tag_latency
+
+        # L2-level morph: phantom fill constructed by this tile's engine.
+        result = self.fill.run_on_miss("l2", tile, line)
+        if result is not None:
+            req.record("l2", "construct")
+            req.latency += result.latency
+            for obj_line in result.lines:
+                self.insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
+            self.fill_private(tile, line, is_write, False, morph=True)
+            stats.add("morph.l2_constructions")
+            if bus.active:
+                bus.emit(MorphConstruct("l2", tile, line))
+            return
+
+        self.shared.access_line(req)
+        self.insert_l2(tile, line, dirty=False, morph=False)
+        self.fill_private(tile, line, is_write, False, morph=False)
+        self.shared.dir.record_fill(line, tile, exclusive=is_write)
+        # Prefetches issue after the demand miss resolves (issuing them
+        # first could evict the demanded line between its directory and
+        # data lookups).
+        if cfg.l2_prefetcher:
+            self.train_prefetcher(tile, line)
+
+    # ------------------------------------------------------------------
+    # the engine demand path (Sec. VI-A1's clustered coherence)
+    # ------------------------------------------------------------------
+    def engine_access_line(self, req):
+        """An engine-side access.
+
+        The engine L1d and the tile's L2 snoop each other but are
+        separate caches: an engine miss snoops the L2 (without filling
+        it) and otherwise goes straight to the LLC, so engine traffic
+        does not displace the core's working set.
+
+        ``near_memory`` tasks (the Sec. IX extension) read uncached
+        lines directly from their memory controller, bypassing the LLC
+        entirely -- the engine sits at the controller, so the transfer
+        crosses no NoC links.
+        """
+        h = self.h
+        cfg = self.config
+        stats = self.stats
+        bus = self.bus
+        tile, line, is_write = req.tile, req.line, req.is_write
+
+        if self.fill.hooks.morph_level(line) == "llc":
+            # Near-data actions operate on LLC-resident phantom objects
+            # *in the LLC bank* (PHI's RMW tasks update the cached
+            # deltas directly, Sec. IV-B); bypassing the engine L1d
+            # keeps the reuse visible to the LLC's replacement policy.
+            req.record("engine_l1", "bypass")
+            req.latency += 1
+            self.shared.access_line(req)
+            return
+
+        stats.add("engine_l1.accesses")
+        entry = self.engine_l1[tile].lookup(line)
+        if bus.active:
+            bus.emit(
+                CacheAccess("engine_l1", tile, line, entry is not None, is_write, True)
+            )
+        if entry is not None:
+            req.record("engine_l1", "hit")
+            req.latency += 2  # small, near-engine SRAM
+            if is_write:
+                entry.dirty = True
+                req.latency += self.shared.ensure_ownership(tile, line)
+            return
+        req.record("engine_l1", "miss")
+        req.latency += 1
+
+        # Snoop the on-tile L2 (no fill -- the caches stay distinct).
+        stats.add("l2.accesses")
+        l2_entry = self.l2[tile].lookup(line)
+        if bus.active:
+            bus.emit(
+                CacheAccess("l2", tile, line, l2_entry is not None, is_write, True)
+            )
+        if l2_entry is not None:
+            req.record("l2", "snoop_hit")
+            req.latency += cfg.l2.hit_latency
+            if is_write:
+                req.latency += self.shared.ensure_ownership(tile, line)
+            self.fill_private(tile, line, is_write, True, morph=l2_entry.morph)
+            return
+        req.record("l2", "snoop_miss")
+
+        if (
+            req.near_memory
+            and not self.shared.llc_has(line)
+            and self.shared.dir.peek(line) is None
+        ):
+            # Direct DRAM read at the controller; the line is cached
+            # only in the near-memory engine's L1d, never in the LLC.
+            dram_lines = self.fill.hooks.translate(line)
+            req.latency += h.mem.access(
+                tile,
+                dram_lines,
+                is_write=False,
+                payload_bytes=DATA_BYTES,
+                now=h.machine.scheduler.now,
+            )
+            stats.add("near_memory.direct_accesses")
+            req.record("dram", "direct")
+            self.fill_private(tile, line, is_write, True, morph=False)
+            return
+
+        self.shared.access_line(req)
+        self.fill_private(tile, line, is_write, True, morph=False)
+        self.shared.dir.record_fill(line, tile, exclusive=is_write)
+
+    # ------------------------------------------------------------------
+    # fills and evictions
+    # ------------------------------------------------------------------
+    def fill_private(self, tile, line, is_write, engine, morph):
+        private = self.engine_l1[tile] if engine else self.l1[tile]
+        victim = private.insert(line, dirty=is_write, morph=morph)
+        if victim is not None:
+            if engine:
+                self.evict_engine_l1(tile, victim)
+            else:
+                self.evict_private_l1(tile, victim)
+        if is_write and not morph:
+            self.shared.dir.record_fill(line, tile, exclusive=True)
+        elif not morph:
+            self.shared.dir.record_fill(line, tile, exclusive=False)
+
+    def evict_private_l1(self, tile, victim):
+        if self.bus.active:
+            self.bus.emit(Eviction("l1", tile, victim.line, victim.dirty, victim.morph))
+        if victim.dirty:
+            # Write back into the L2 (which may cascade).
+            self.insert_l2(tile, victim.line, dirty=True, morph=victim.morph)
+        self.shared.maybe_release_sharer(tile, victim.line)
+
+    def evict_engine_l1(self, tile, victim):
+        """Engine L1d victims write back to the LLC, not the core's L2."""
+        line = victim.line
+        if self.bus.active:
+            self.bus.emit(Eviction("engine_l1", tile, line, victim.dirty, victim.morph))
+        if victim.morph:
+            # A phantom (L2-morph) line cached by the engine: destruct.
+            self.fill.queue_destructor("l2", tile, line, victim.dirty)
+            self.shared.maybe_release_sharer(tile, line)
+            return
+        if victim.dirty:
+            self.shared.writeback(tile, line)
+        self.shared.maybe_release_sharer(tile, line)
+
+    def insert_l2(self, tile, line, dirty, morph):
+        l2 = self.l2[tile]
+        existing = l2.lookup(line, touch=False)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            existing.morph = existing.morph or morph
+            return
+        victim = l2.insert(line, dirty=dirty, morph=morph)
+        if victim is not None:
+            self.evict_l2(tile, victim)
+
+    def evict_l2(self, tile, victim):
+        line = victim.line
+        # Enforce L1 (and engine L1d) inclusion within the tile.
+        l1_entry = self.l1[tile].invalidate(line)
+        e1_entry = self.engine_l1[tile].invalidate(line)
+        dirty = victim.dirty or bool(l1_entry and l1_entry.dirty) or bool(
+            e1_entry and e1_entry.dirty
+        )
+        if self.bus.active:
+            self.bus.emit(Eviction("l2", tile, line, dirty, victim.morph))
+        if victim.morph:
+            # Phantom line registered at the L2: queue its destructor on
+            # this tile's engine; nothing is written down the hierarchy.
+            self.fill.queue_destructor("l2", tile, line, dirty)
+            return
+        if dirty:
+            self.shared.writeback(tile, line)
+        self.shared.maybe_release_sharer(tile, line)
+
+    def drop_private(self, tile, line):
+        """Remove ``line`` from every private cache on ``tile``."""
+        for cache in (self.l1[tile], self.l2[tile], self.engine_l1[tile]):
+            cache.invalidate(line)
+
     # ------------------------------------------------------------------
     # prefetch
     # ------------------------------------------------------------------
-    def _train_prefetcher(self, tile, line):
+    def train_prefetcher(self, tile, line):
         for pf_line in self.prefetchers[tile].train(line):
             if self.l2[tile].contains(pf_line):
                 continue
-            self._prefetch_fill(tile, pf_line)
+            self.prefetch_fill(tile, pf_line)
 
-    def _prefetch_fill(self, tile, line):
+    def prefetch_fill(self, tile, line):
         """Fill ``line`` into the L2 in the background (no demand latency)."""
-        result = self._run_on_miss_if_allowed(tile, line)
+        result = self.fill.run_on_miss_if_allowed(tile, line)
         if result is _PREFETCH_DENIED:
             return
         self.stats.add("prefetch.issued")
         if result is not None:
             for obj_line in result.lines:
-                self._insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
+                self.insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
             self.stats.add("morph.l2_constructions")
             self.stats.add("prefetch.morph_fills")
+            if self.bus.active:
+                self.bus.emit(MorphConstruct("l2", tile, line))
             return
-        self._llc_access(tile, line, is_write=False)
-        self._insert_l2(tile, line, dirty=False, morph=False)
-        self.dir.record_fill(line, tile, exclusive=False)
+        # The prefetch walks the shared path like a demand fill, but its
+        # latency is discarded (it is off the demand critical path).
+        pf_req = MemoryRequest(tile, line, 0, is_write=False)
+        self.shared.access_line(pf_req)
+        self.insert_l2(tile, line, dirty=False, morph=False)
+        self.shared.dir.record_fill(line, tile, exclusive=False)
 
-    def _run_on_miss_if_allowed(self, tile, line):
-        if not self.hooks.allow_prefetch("l2", tile, line):
-            self.stats.add("prefetch.nacked")
-            return _PREFETCH_DENIED
-        return self._run_on_miss("l2", tile, line)
+
+class SharedCachePath:
+    """The banked inclusive LLC and its in-directory coherence."""
+
+    def __init__(self, hierarchy):
+        self.h = hierarchy
+        cfg = hierarchy.config
+        self.config = cfg
+        self.stats = hierarchy.stats
+        self.bus = hierarchy.bus
+        n = cfg.n_tiles
+        bank_bits = (n - 1).bit_length()
+        # LLC banks index sets above the bank-select bits (which would
+        # otherwise alias onto one set per bank).
+        self.llc = [
+            hierarchy.build_cache(cfg.llc, "llc.", t, index_shift=bank_bits)
+            for t in range(n)
+        ]
+        self.dir = Directory(self.stats)
+
+    def link(self, private, fill_engine):
+        """Wire the cross-component references (called once by the facade)."""
+        self.private = private
+        self.fill = fill_engine
+
+    # ------------------------------------------------------------------
+    # mapping and probes
+    # ------------------------------------------------------------------
+    def bank_of(self, line):
+        """LLC bank for ``line``, honoring Leviathan's LSB-ignore mapping."""
+        shift = self.fill.hooks.bank_shift(line)
+        return (line >> shift) % self.config.n_tiles
+
+    def llc_has(self, line):
+        return self.llc[self.bank_of(line)].contains(line)
+
+    def owner_of(self, line):
+        return self.dir.owner_of(line)
+
+    # ------------------------------------------------------------------
+    # the shared demand path
+    # ------------------------------------------------------------------
+    def access_line(self, req):
+        """Access ``req.line`` at its LLC bank on behalf of the requester."""
+        h = self.h
+        stats = self.stats
+        bus = self.bus
+        line, is_write = req.line, req.is_write
+        bank = self.bank_of(line)
+        req.latency += h.noc.send(req.tile, bank, CTRL_BYTES)
+        stats.add("llc.accesses")
+        req.latency += self.resolve_coherence(bank, req.tile, line, is_write)
+
+        llc = self.llc[bank]
+        entry = llc.lookup(line)
+        if bus.active:
+            bus.emit(
+                CacheAccess("llc", bank, line, entry is not None, is_write, req.engine)
+            )
+        if entry is not None:
+            stats.add("llc.hits")
+            req.record("llc", "hit")
+            req.latency += self.config.llc.hit_latency
+            if is_write:
+                entry.dirty = True
+            req.latency += h.noc.send(bank, req.tile, DATA_BYTES)
+            return
+
+        stats.add("llc.misses")
+        req.record("llc", "miss")
+        req.latency += self.config.llc.tag_latency
+
+        result = self.fill.run_on_miss("llc", bank, line)
+        if result is not None:
+            req.record("llc", "construct")
+            req.latency += result.latency
+            for obj_line in result.lines:
+                self.insert_llc(bank, obj_line, dirty=result.dirty or is_write, morph=True)
+            stats.add("morph.llc_constructions")
+            if bus.active:
+                bus.emit(MorphConstruct("llc", bank, line))
+        else:
+            dram_lines = self.fill.hooks.translate(line)
+            req.latency += h.mem.access(
+                bank,
+                dram_lines,
+                is_write=False,
+                payload_bytes=DATA_BYTES,
+                now=h.machine.scheduler.now,
+            )
+            req.record("dram", "fill")
+            self.insert_llc(bank, line, dirty=is_write, morph=False)
+
+        req.latency += h.noc.send(bank, req.tile, DATA_BYTES)
+
+    # ------------------------------------------------------------------
+    # coherence
+    # ------------------------------------------------------------------
+    def ensure_ownership(self, tile, line):
+        """Charge an upgrade if ``tile`` writes a line it does not own."""
+        if self.dir.owner_of(line) == tile:
+            return 0
+        ent = self.dir.peek(line)
+        if ent is None:
+            # Phantom (L2-morph) lines are tile-private; no directory state.
+            return 0
+        bank = self.bank_of(line)
+        latency = self.h.noc.round_trip(tile, bank, CTRL_BYTES, CTRL_BYTES)
+        self.stats.add("coherence.upgrades")
+        if self.bus.active:
+            self.bus.emit(CoherenceAction("upgrade", line, bank, tile))
+        latency += self.invalidate_sharers(bank, line, keep_tile=tile)
+        self.dir.record_fill(line, tile, exclusive=True)
+        return latency
+
+    def resolve_coherence(self, bank, requester_tile, line, is_write):
+        """Directory actions before the LLC satisfies a fill request."""
+        ent = self.dir.peek(line)
+        if ent is None:
+            return 0
+        latency = 0
+        owner = ent.owner
+        if owner is not None and owner != requester_tile:
+            # Another tile holds the line modified: fetch and write back.
+            self.stats.add("coherence.ping_pongs")
+            if self.bus.active:
+                self.bus.emit(CoherenceAction("ping_pong", line, bank, owner))
+            latency += self.h.noc.send(bank, owner, CTRL_BYTES)
+            latency += self.h.noc.send(owner, bank, DATA_BYTES)
+            self.private.drop_private(owner, line)
+            self.dir.record_private_eviction(line, owner)
+            llc_entry = self.llc[bank].lookup(line, touch=False)
+            if llc_entry is not None:
+                llc_entry.dirty = True
+        if is_write:
+            latency += self.invalidate_sharers(bank, line, keep_tile=requester_tile)
+        return latency
+
+    def invalidate_sharers(self, bank, line, keep_tile):
+        latency = 0
+        for sharer in sorted(self.dir.sharers_of(line)):
+            if sharer == keep_tile:
+                continue
+            self.stats.add("coherence.invalidations")
+            if self.bus.active:
+                self.bus.emit(CoherenceAction("invalidation", line, bank, sharer))
+            latency = max(
+                latency, self.h.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
+            )
+            self.private.drop_private(sharer, line)
+            self.dir.record_private_eviction(line, sharer)
+        return latency
+
+    def maybe_release_sharer(self, tile, line):
+        if not self.private.tile_has_private(tile, line):
+            self.dir.record_private_eviction(line, tile)
+
+    # ------------------------------------------------------------------
+    # fills, writebacks, evictions
+    # ------------------------------------------------------------------
+    def writeback(self, tile, line):
+        """A dirty private victim writes back into the line's LLC bank."""
+        bank = self.bank_of(line)
+        self.h.noc.send(tile, bank, DATA_BYTES)
+        self.stats.add("llc.accesses")
+        llc_entry = self.llc[bank].lookup(line, touch=False)
+        if self.bus.active:
+            self.bus.emit(
+                CacheAccess("llc", bank, line, llc_entry is not None, True, False)
+            )
+        if llc_entry is not None:
+            llc_entry.dirty = True
+        else:
+            self.insert_llc(bank, line, dirty=True, morph=False)
+
+    def insert_llc(self, bank, line, dirty, morph):
+        llc = self.llc[bank]
+        existing = llc.lookup(line, touch=False)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            existing.morph = existing.morph or morph
+            return
+        victim = llc.insert(line, dirty=dirty, morph=morph)
+        if victim is not None:
+            self.evict_llc(bank, victim)
+
+    def evict_llc(self, bank, victim):
+        line = victim.line
+        # Inclusive LLC: recall private copies everywhere.
+        dirty = victim.dirty
+        for sharer in sorted(self.dir.sharers_of(line)):
+            self.stats.add("coherence.recalls")
+            if self.bus.active:
+                self.bus.emit(CoherenceAction("recall", line, bank, sharer))
+            self.h.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
+            for cache in (
+                self.private.l1[sharer],
+                self.private.l2[sharer],
+                self.private.engine_l1[sharer],
+            ):
+                dropped = cache.invalidate(line)
+                if dropped is not None and dropped.dirty:
+                    dirty = True
+        self.dir.drop(line)
+        if self.bus.active:
+            self.bus.emit(Eviction("llc", bank, line, dirty, victim.morph))
+        if victim.morph:
+            # Destructor (off the critical path; its engine work is
+            # accounted, its latency absorbed by the actor buffer).
+            self.fill.queue_destructor("llc", bank, line, dirty)
+            return
+        if dirty:
+            dram_lines = self.fill.hooks.translate(line)
+            self.h.mem.access(
+                bank,
+                dram_lines,
+                is_write=True,
+                payload_bytes=DATA_BYTES,
+                now=self.h.machine.scheduler.now,
+            )
+            self.stats.add("llc.writebacks")
+
+
+class Hierarchy:
+    """The facade: owns the pipeline components and the access entry point."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        cfg = machine.config
+        self.config = cfg
+        self.stats = machine.stats
+        self.bus = machine.events
+        self.line_size = cfg.line_size
+        self.noc = MeshNoc(cfg, self.stats, bus=self.bus)
+        self.mem = MemorySystem(cfg, self.stats, self.noc, bus=self.bus)
+
+        self.fill_engine = FillEngine(self)
+        self.private = PrivateCachePath(self)
+        self.shared = SharedCachePath(self)
+        self.private.link(self.shared, self.fill_engine)
+        self.shared.link(self.private, self.fill_engine)
+
+        # Component internals re-exported under their historical names:
+        # the runtime, workloads, and tests address caches through the
+        # facade (``hierarchy.l1[tile]`` etc.).
+        self.l1 = self.private.l1
+        self.l2 = self.private.l2
+        self.engine_l1 = self.private.engine_l1
+        self.prefetchers = self.private.prefetchers
+        self.llc = self.shared.llc
+        self.dir = self.shared.dir
+
+    def build_cache(self, cache_cfg, name, tile, index_shift=0):
+        return SetAssocCache(
+            cache_cfg.sets(self.config.line_size),
+            cache_cfg.ways,
+            policy=cache_cfg.replacement,
+            name=f"{name}{tile}",
+            index_shift=index_shift,
+        )
+
+    # ------------------------------------------------------------------
+    # hooks (delegated to the fill engine; the runtime assigns these)
+    # ------------------------------------------------------------------
+    @property
+    def hooks(self):
+        return self.fill_engine.hooks
+
+    @hooks.setter
+    def hooks(self, hooks):
+        self.fill_engine.hooks = hooks
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def line_of(self, addr):
+        return addr // self.line_size
+
+    def bank_of(self, line):
+        return self.shared.bank_of(line)
+
+    # ------------------------------------------------------------------
+    # probes (no state change; used by DYNAMIC invoke placement)
+    # ------------------------------------------------------------------
+    def tile_has_private(self, tile, line):
+        return self.private.tile_has_private(tile, line)
+
+    def llc_has(self, line):
+        return self.shared.llc_has(line)
+
+    def owner_of(self, line):
+        return self.shared.owner_of(line)
+
+    # ------------------------------------------------------------------
+    # the access entry point
+    # ------------------------------------------------------------------
+    def access(self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False):
+        """Perform an access; returns its :class:`AccessResult`.
+
+        Multi-line accesses are overlapped: the result's latency is that
+        of the slowest line, but every line's events and outcomes are
+        accounted.
+
+        ``apply`` (a zero-argument callable) is the access's functional
+        side effect. It runs after the cache access but *before* queued
+        destructors drain, so a destructor for this very line (evicted
+        by the access's own fills) observes the applied value.
+        """
+        private = self.private
+        first = addr // self.line_size
+        last = (addr + max(size, 1) - 1) // self.line_size
+        if first == last:
+            req = MemoryRequest(tile, first, size, is_write, engine, near_memory)
+            if engine:
+                private.engine_access_line(req)
+            else:
+                private.access_line(req)
+            latency = req.latency
+            outcomes = req.outcomes
+        else:
+            latency = 0.0
+            outcomes = []
+            for line in range(first, last + 1):
+                req = MemoryRequest(tile, line, size, is_write, engine, near_memory)
+                if engine:
+                    private.engine_access_line(req)
+                else:
+                    private.access_line(req)
+                latency = max(latency, req.latency)
+                outcomes.extend(req.outcomes)
+        if apply is not None:
+            apply()
+        fill = self.fill_engine
+        if fill._hook_depth == 0:
+            fill.drain_destructors()
+        result = AccessResult(
+            tile, addr, size, is_write, engine, near_memory, latency, outcomes
+        )
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                MemoryAccess(tile, addr, size, is_write, engine, near_memory, result)
+            )
+        return result
 
     # ------------------------------------------------------------------
     # explicit flush (Leviathan's flush instruction, Sec. VI-B2)
@@ -579,26 +821,40 @@ class Hierarchy:
         Used when a Morph is unregistered; destructors fire for morph
         lines, dirty ordinary lines are written back.
         """
+        private = self.private
+        shared = self.shared
         line_lo = region.base // self.line_size
         line_hi = (region.end + self.line_size - 1) // self.line_size
         for tile in range(self.config.n_tiles):
-            for line in self.l2[tile].resident_in(line_lo, line_hi):
-                victim = self.l2[tile].invalidate(line)
+            for line in private.l2[tile].resident_in(line_lo, line_hi):
+                victim = private.l2[tile].invalidate(line)
                 if victim is not None:
-                    self._evict_l2(tile, victim)
-            for cache in (self.l1[tile], self.engine_l1[tile]):
+                    private.evict_l2(tile, victim)
+            for cache in (private.l1[tile], private.engine_l1[tile]):
                 for line in cache.resident_in(line_lo, line_hi):
                     victim = cache.invalidate(line)
                     if victim is not None and victim.dirty and not victim.morph:
-                        self._insert_l2(tile, line, dirty=True, morph=False)
-                    self._maybe_release_sharer(tile, line)
+                        private.insert_l2(tile, line, dirty=True, morph=False)
+                    shared.maybe_release_sharer(tile, line)
         for bank in range(self.config.n_tiles):
-            for line in self.llc[bank].resident_in(line_lo, line_hi):
-                victim = self.llc[bank].invalidate(line)
+            for line in shared.llc[bank].resident_in(line_lo, line_hi):
+                victim = shared.llc[bank].invalidate(line)
                 if victim is not None:
-                    self._evict_llc(bank, victim)
-        self._drain_destructors()
+                    shared.evict_llc(bank, victim)
+        self.fill_engine.drain_destructors()
         self.stats.add("morph.flushes")
+
+    # ------------------------------------------------------------------
+    # historical entry points kept for direct component access
+    # ------------------------------------------------------------------
+    def _evict_llc(self, bank, victim):
+        self.shared.evict_llc(bank, victim)
+
+    def _evict_engine_l1(self, tile, victim):
+        self.private.evict_engine_l1(tile, victim)
+
+    def _drain_destructors(self):
+        self.fill_engine.drain_destructors()
 
 
 def _engine_l1_config(cfg):

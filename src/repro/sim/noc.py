@@ -7,16 +7,19 @@ crossing one link), which is what the paper's "NoC traffic" reductions
 (e.g. 40% vs. tākō in Sec. IV-D) measure.
 """
 
+from repro.sim.events import EventBus, FlitHop
+
 
 class MeshNoc:
     """The on-chip network connecting tiles (cores, LLC banks, MCs)."""
 
-    def __init__(self, config, stats):
+    def __init__(self, config, stats, bus=None):
         self.config = config.noc
         self.n_tiles = config.n_tiles
         self.width = config.mesh_width
         self.height = (self.n_tiles + self.width - 1) // self.width
         self.stats = stats
+        self.bus = bus if bus is not None else EventBus()
 
     def coords(self, tile):
         """(x, y) position of ``tile`` on the mesh."""
@@ -41,6 +44,8 @@ class MeshNoc:
         self.stats.add("noc.messages")
         self.stats.add("noc.flits", flits)
         self.stats.add("noc.flit_hops", flits * hops)
+        if self.bus.active:
+            self.bus.emit(FlitHop(src, dst, payload_bytes, flits, hops))
         return self.config.message_latency(hops, payload_bytes)
 
     def round_trip(self, src, dst, request_bytes, response_bytes):

@@ -11,6 +11,7 @@ layers (the Leviathan runtime in :mod:`repro.core`) define additional
 operations with the same protocol; the scheduler is agnostic.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -21,7 +22,9 @@ class Condition:
 
     def __init__(self, name="condition"):
         self.name = name
-        self.waiters = []
+        #: FIFO of ``(ctx, retry_op)``; a deque so wake_one's popleft is
+        #: O(1) even with thousands of parked contexts.
+        self.waiters = deque()
 
     def __repr__(self):
         return f"Condition({self.name}, {len(self.waiters)} waiters)"
@@ -108,7 +111,7 @@ class Load(Op):
             engine=ctx.is_engine,
             apply=self.apply,
             near_memory=getattr(ctx, "near_memory", False),
-        )
+        ).latency
 
 
 @dataclass
@@ -133,7 +136,7 @@ class Store(Op):
             engine=ctx.is_engine,
             apply=self.apply,
             near_memory=getattr(ctx, "near_memory", False),
-        )
+        ).latency
 
 
 @dataclass
@@ -160,7 +163,7 @@ class AtomicRMW(Op):
             engine=ctx.is_engine,
             apply=self.apply,
             near_memory=getattr(ctx, "near_memory", False),
-        )
+        ).latency
         machine.stats.add("core.atomics" if not ctx.is_engine else "engine.atomics")
         if self.fenced and not ctx.is_engine:
             machine.stats.add("core.fences")

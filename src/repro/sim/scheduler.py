@@ -68,7 +68,7 @@ class Scheduler:
 
     def wake_all(self, condition, value=None, at_time=None):
         """Wake every waiter on ``condition``."""
-        waiters, condition.waiters = condition.waiters, []
+        waiters, condition.waiters = condition.waiters, type(condition.waiters)()
         for ctx, retry_op in waiters:
             self._wake(ctx, retry_op, value, at_time)
         return len(waiters)
@@ -77,7 +77,7 @@ class Scheduler:
         """Wake the longest-waiting waiter on ``condition`` (if any)."""
         if not condition.waiters:
             return 0
-        ctx, retry_op = condition.waiters.pop(0)
+        ctx, retry_op = condition.waiters.popleft()
         self._wake(ctx, retry_op, value, at_time)
         return 1
 

@@ -12,6 +12,7 @@ engines and installs its hierarchy hooks.
 
 from repro.sim.address import AddressSpace
 from repro.sim.energy import EnergyModel
+from repro.sim.events import EventBus
 from repro.sim.hierarchy import Hierarchy
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -25,6 +26,10 @@ class Machine:
     def __init__(self, config, energy_params=None):
         self.config = config
         self.stats = Stats()
+        #: The unified event bus (observability plane): components emit
+        #: typed events here, and tools subscribe. Created before the
+        #: hierarchy so every component can cache the reference.
+        self.events = EventBus()
         self.hierarchy = Hierarchy(self)
         self.scheduler = Scheduler(self)
         self.address_space = AddressSpace(config.line_size)

@@ -1,9 +1,16 @@
 """Optional event tracing for debugging simulations.
 
-A :class:`Tracer` wraps a machine and records a bounded log of
-interesting events (memory accesses within watched ranges, morph
-constructions/destructions, context switches). Tracing is strictly
-opt-in and adds no cost when unused -- the hot paths never consult it.
+A :class:`Tracer` subscribes to the machine's event bus
+(:class:`~repro.sim.events.EventBus`) and records a bounded log of
+interesting events: memory accesses within watched address ranges and
+morph constructions/destructions. Tracing is strictly opt-in and adds
+no cost when unused -- with no subscriber attached the bus guard keeps
+the hot paths event-free.
+
+Because attach/detach is plain bus (un)subscription, tracers compose:
+two tracers on one machine record independently, and detaching twice
+(or detaching one of the two) cannot corrupt the access path -- there
+is no wrapper to restore.
 
 Example::
 
@@ -11,9 +18,12 @@ Example::
     tracer.watch_range(region.base, region.end, "deltas")
     ... run ...
     print(tracer.render(limit=50))
+    tracer.detach()
 """
 
 from dataclasses import dataclass
+
+from repro.sim.events import MemoryAccess, MorphConstruct, MorphDestruct
 
 
 @dataclass(frozen=True)
@@ -34,8 +44,10 @@ class Tracer:
         self.max_events = max_events
         self.events = []
         self._ranges = []  # (lo, hi, label)
-        self._original_access = machine.hierarchy.access
-        machine.hierarchy.access = self._traced_access
+        self._bus = machine.events
+        self._bus.subscribe(MemoryAccess, self._on_access)
+        self._bus.subscribe(MorphConstruct, self._on_construct)
+        self._bus.subscribe(MorphDestruct, self._on_destruct)
 
     # ------------------------------------------------------------------
     # configuration
@@ -46,8 +58,10 @@ class Tracer:
         return self
 
     def detach(self):
-        """Stop tracing and restore the machine's access path."""
-        self.machine.hierarchy.access = self._original_access
+        """Stop tracing (idempotent; other subscribers are unaffected)."""
+        self._bus.unsubscribe(MemoryAccess, self._on_access)
+        self._bus.unsubscribe(MorphConstruct, self._on_construct)
+        self._bus.unsubscribe(MorphDestruct, self._on_destruct)
 
     # ------------------------------------------------------------------
     # recording
@@ -65,19 +79,36 @@ class Tracer:
             TraceEvent(time=self.machine.scheduler.now, kind=kind, detail=detail)
         )
 
-    def _traced_access(
-        self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False
-    ):
+    def _on_access(self, event):
+        label = self._label_of(event.addr)
+        if label is None:
+            return
+        op = "store" if event.is_write else "load"
+        who = "engine" if event.engine else "core"
+        self._record(
+            "access",
+            f"{label}: {op} {event.size}B @ {event.addr:#x} by {who}{event.tile}",
+        )
+
+    def _on_construct(self, event):
+        addr = event.line * self.machine.config.line_size
         label = self._label_of(addr)
-        if label is not None:
-            op = "store" if is_write else "load"
-            who = "engine" if engine else "core"
-            self._record(
-                "access",
-                f"{label}: {op} {size}B @ {addr:#x} by {who}{tile}",
-            )
-        return self._original_access(
-            tile, addr, size, is_write, engine=engine, apply=apply, near_memory=near_memory
+        if label is None:
+            return
+        self._record(
+            "construct",
+            f"{label}: {event.level} morph fill of line {event.line:#x} at tile {event.tile}",
+        )
+
+    def _on_destruct(self, event):
+        addr = event.line * self.machine.config.line_size
+        label = self._label_of(addr)
+        if label is None:
+            return
+        dirty = "dirty" if event.dirty else "clean"
+        self._record(
+            "destruct",
+            f"{label}: {event.level} morph evict of {dirty} line {event.line:#x} at tile {event.tile}",
         )
 
     # ------------------------------------------------------------------

@@ -19,6 +19,10 @@ class RunResult:
     notes: str = ""
     #: Per-component dynamic energy ({counter_name: picojoules}).
     energy_breakdown: dict = field(default_factory=dict)
+    #: Per-level access attribution ({(level, outcome): count}), filled
+    #: when the run was observed by a
+    #: :class:`~repro.sim.stats.AccessProfile` on the event bus.
+    access_profile: dict = field(default_factory=dict)
 
     def speedup_over(self, baseline):
         """Speedup of *this* variant relative to ``baseline``."""
@@ -34,6 +38,14 @@ class RunResult:
 
     def stat(self, name):
         return self.stats.get(name, 0)
+
+    def accesses(self, level, outcome=None):
+        """Access-path steps recorded at ``level`` (see AccessProfile)."""
+        return sum(
+            count
+            for (lvl, out), count in self.access_profile.items()
+            if lvl == level and (outcome is None or out == outcome)
+        )
 
 
 @dataclass
@@ -78,8 +90,17 @@ class StudyResult:
         return "\n".join(lines)
 
 
-def finish_run(machine, name, output=None, notes=""):
-    """Package a completed machine run into a :class:`RunResult`."""
+def finish_run(machine, name, output=None, notes="", profile=None):
+    """Package a completed machine run into a :class:`RunResult`.
+
+    ``profile`` is an optional :class:`~repro.sim.stats.AccessProfile`
+    that observed the run; its per-level breakdown is detached and
+    recorded on the result.
+    """
+    access_profile = {}
+    if profile is not None:
+        profile.detach()
+        access_profile = profile.breakdown()
     return RunResult(
         name=name,
         cycles=machine.scheduler.now,
@@ -88,6 +109,7 @@ def finish_run(machine, name, output=None, notes=""):
         output=output,
         notes=notes,
         energy_breakdown=machine.energy_model.breakdown_pj(machine.stats),
+        access_profile=access_profile,
     )
 
 

@@ -28,6 +28,7 @@ from repro.core.offload import Invoke, Location
 from repro.core.runtime import Leviathan
 from repro.sim.config import SystemConfig, CacheConfig
 from repro.sim.ops import Compute, Load
+from repro.sim.stats import AccessProfile
 from repro.sim.system import Machine
 from repro.workloads.common import StudyResult, finish_run
 
@@ -219,6 +220,7 @@ def run_baseline(params=None, n_tiles=16):
     p.update(params or {})
     table_bytes = _padded_table_bytes(p)
     machine = Machine(hashtable_config(n_tiles=n_tiles, table_bytes=table_bytes))
+    profile = AccessProfile(machine)
     table = _Table(machine, None, p)
     results = []
     for t, keys in enumerate(table.lookup_keys()):
@@ -227,7 +229,7 @@ def run_baseline(params=None, n_tiles=16):
         )
     machine.run()
     _verify(table, results)
-    return finish_run(machine, "baseline", output=sum(results))
+    return finish_run(machine, "baseline", output=sum(results), profile=profile)
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +261,7 @@ def _run_leviathan_variant(
     machine = Machine(
         hashtable_config(n_tiles=n_tiles, ideal=ideal, table_bytes=table_bytes)
     )
+    profile = AccessProfile(machine)
     runtime = Leviathan(machine)
     table = _Table(machine, runtime, p, padding=padding, llc_mapping=llc_mapping)
     results = []
@@ -270,7 +273,7 @@ def _run_leviathan_variant(
         )
     machine.run()
     _verify(table, results)
-    return finish_run(machine, name, output=sum(results))
+    return finish_run(machine, name, output=sum(results), profile=profile)
 
 
 def run_leviathan(params=None, n_tiles=16, ideal=False):

@@ -1,0 +1,146 @@
+"""Per-level outcome assertions for the access-path pipeline.
+
+Each test drives the hierarchy into a known state and asserts the exact
+``AccessResult.outcomes`` trail -- the request plumbing the experiments
+use for per-level attribution.
+"""
+
+from repro.sim.hierarchy import ConstructResult, HierarchyHooks
+from repro.sim.stats import AccessProfile
+
+ADDR = 0x2_0000
+
+
+def _access(machine, tile=0, addr=ADDR, size=8, write=False, engine=False):
+    return machine.hierarchy.access(tile, addr, size, is_write=write, engine=engine)
+
+
+class TestCorePath:
+    def test_cold_miss_walks_to_dram(self, machine):
+        result = _access(machine)
+        assert result.outcomes == [
+            ("l1", "miss"),
+            ("l2", "miss"),
+            ("llc", "miss"),
+            ("dram", "fill"),
+        ]
+        assert result.served_by == ("dram", "fill")
+
+    def test_l1_hit(self, machine):
+        _access(machine)
+        result = _access(machine)
+        assert result.outcomes == [("l1", "hit")]
+        assert result.latency <= machine.config.l1.hit_latency + 1
+
+    def test_l2_hit_after_l1_invalidation(self, machine):
+        _access(machine)
+        machine.hierarchy.l1[0].invalidate(ADDR // 64)
+        result = _access(machine)
+        assert result.outcomes == [("l1", "miss"), ("l2", "hit")]
+
+    def test_llc_hit_from_other_tile(self, machine):
+        _access(machine, tile=0)
+        result = _access(machine, tile=1)
+        assert result.outcomes == [("l1", "miss"), ("l2", "miss"), ("llc", "hit")]
+
+    def test_latency_orders_with_depth(self, machine):
+        dram = _access(machine).latency
+        machine.hierarchy.l1[0].invalidate(ADDR // 64)
+        l2 = _access(machine).latency
+        l1 = _access(machine).latency
+        llc = _access(machine, tile=1).latency
+        assert l1 < l2 < llc < dram
+
+    def test_multi_line_concatenates_outcomes(self):
+        from repro.sim.config import small_config
+        from repro.sim.system import Machine
+
+        machine = Machine(small_config(l2_prefetcher=False))
+        result = _access(machine, addr=ADDR, size=256)
+        assert result.count("dram", "fill") == 4
+        assert result.count("l1", "miss") == 4
+        assert len(result.outcomes) == 16
+        # Lines overlap: the latency is the slowest line, not the sum.
+        single = _access(machine, addr=ADDR + 0x10000).latency
+        assert result.latency < 4 * single
+
+    def test_outcome_counts_view(self, machine):
+        result = _access(machine, addr=ADDR, size=128)
+        counts = result.outcome_counts()
+        assert counts[("llc", "miss")] == 2
+        assert result.count("llc") == 2
+
+
+class TestEnginePath:
+    def test_engine_cold_miss(self, machine):
+        result = _access(machine, engine=True)
+        assert result.outcomes == [
+            ("engine_l1", "miss"),
+            ("l2", "snoop_miss"),
+            ("llc", "miss"),
+            ("dram", "fill"),
+        ]
+
+    def test_engine_l1_hit(self, machine):
+        _access(machine, engine=True)
+        result = _access(machine, engine=True)
+        assert result.outcomes == [("engine_l1", "hit")]
+
+    def test_engine_snoops_core_l2(self, machine):
+        _access(machine)  # the core fills its L1 + L2
+        result = _access(machine, engine=True)
+        assert result.outcomes == [("engine_l1", "miss"), ("l2", "snoop_hit")]
+
+
+class _L2Morph(HierarchyHooks):
+    def __init__(self, base_line, bound_line):
+        self.base_line = base_line
+        self.bound_line = bound_line
+
+    def _covers(self, line):
+        return self.base_line <= line < self.bound_line
+
+    def morph_level(self, line):
+        return "l2" if self._covers(line) else None
+
+    def on_miss(self, level, tile, line):
+        if level == "l2" and self._covers(line):
+            return ConstructResult(latency=5, lines=[line])
+        return None
+
+
+class TestMorphPath:
+    def test_construct_terminates_the_walk(self, machine):
+        base_line = ADDR // 64
+        machine.hierarchy.hooks = _L2Morph(base_line, base_line + 8)
+        result = _access(machine)
+        assert result.outcomes == [
+            ("l1", "miss"),
+            ("l2", "miss"),
+            ("l2", "construct"),
+        ]
+        assert machine.stats["dram.accesses"] == 0
+
+
+class TestAccessProfile:
+    def test_profile_accumulates_breakdown(self, machine):
+        profile = AccessProfile(machine)
+        _access(machine)  # dram fill
+        _access(machine)  # l1 hit
+        _access(machine, tile=1)  # llc hit
+        assert profile.requests == 3
+        assert profile.count("l1", "hit") == 1
+        assert profile.count("dram", "fill") == 1
+        assert profile.served_by[("llc", "hit")] == 1
+        assert profile.by_tile == {0: 2, 1: 1}
+        assert profile.hit_rate("l1") == 1 / 3
+        assert profile.mean_latency("l1") <= machine.config.l1.hit_latency + 1
+        assert "requests" in profile.summary()
+
+    def test_detach_stops_accumulation(self, machine):
+        profile = AccessProfile(machine)
+        _access(machine)
+        profile.detach()
+        _access(machine)
+        assert profile.requests == 1
+        assert not machine.events.active

@@ -1,0 +1,181 @@
+"""Unit tests for the event bus: registration, dispatch, and the
+zero-subscriber fast path."""
+
+import pytest
+
+from repro.sim import events
+from repro.sim.events import (
+    CacheAccess,
+    DramAccess,
+    EventBus,
+    Eviction,
+    FlitHop,
+    MemoryAccess,
+)
+from repro.sim.ops import Load, Store
+from tests.conftest import run_program
+
+
+class TestRegistration:
+    def test_starts_inactive(self):
+        bus = EventBus()
+        assert not bus.active
+        assert bus.subscriber_count() == 0
+
+    def test_subscribe_activates(self):
+        bus = EventBus()
+        bus.subscribe(CacheAccess, lambda e: None)
+        assert bus.active
+        assert bus.wants(CacheAccess)
+        assert not bus.wants(Eviction)
+        assert bus.subscriber_count(CacheAccess) == 1
+
+    def test_unsubscribe_deactivates(self):
+        bus = EventBus()
+        handler = bus.subscribe(CacheAccess, lambda e: None)
+        bus.unsubscribe(CacheAccess, handler)
+        assert not bus.active
+        assert bus.subscriber_count() == 0
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        handler = lambda e: None  # noqa: E731
+        bus.subscribe(CacheAccess, handler)
+        bus.unsubscribe(CacheAccess, handler)
+        bus.unsubscribe(CacheAccess, handler)  # second detach: no-op
+        assert not bus.active
+
+    def test_unsubscribe_of_unknown_handler_is_noop(self):
+        bus = EventBus()
+        bus.subscribe(CacheAccess, lambda e: None)
+        bus.unsubscribe(CacheAccess, lambda e: None)  # different handler
+        assert bus.subscriber_count(CacheAccess) == 1
+
+    def test_bound_methods_unsubscribe(self):
+        """Bound methods are fresh objects per attribute access; the bus
+        must compare by equality or detach would silently fail."""
+
+        class Sub:
+            def __init__(self):
+                self.seen = 0
+
+            def on_event(self, event):
+                self.seen += 1
+
+        bus = EventBus()
+        sub = Sub()
+        bus.subscribe(CacheAccess, sub.on_event)
+        assert sub.on_event is not sub.on_event  # the trap
+        bus.unsubscribe(CacheAccess, sub.on_event)
+        assert not bus.active
+
+    def test_remaining_subscribers_keep_bus_active(self):
+        bus = EventBus()
+        keep = bus.subscribe(CacheAccess, lambda e: None)
+        drop = bus.subscribe(Eviction, lambda e: None)
+        bus.unsubscribe(Eviction, drop)
+        assert bus.active
+        assert bus.wants(CacheAccess)
+        bus.unsubscribe(CacheAccess, keep)
+        assert not bus.active
+
+
+class TestDispatch:
+    def test_dispatch_by_exact_type(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(CacheAccess, got.append)
+        event = CacheAccess("l1", 0, 1, True, False, False)
+        bus.emit(event)
+        bus.emit(Eviction("l1", 0, 1, False, False))  # not subscribed
+        assert got == [event]
+
+    def test_double_subscription_delivers_twice(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(CacheAccess, got.append)
+        bus.subscribe(CacheAccess, got.append)
+        bus.emit(CacheAccess("l1", 0, 1, True, False, False))
+        assert len(got) == 2
+
+    def test_unsubscribe_from_inside_handler(self):
+        bus = EventBus()
+        got = []
+
+        def once(event):
+            got.append(event)
+            bus.unsubscribe(CacheAccess, once)
+
+        bus.subscribe(CacheAccess, once)
+        bus.emit(CacheAccess("l1", 0, 1, True, False, False))
+        bus.emit(CacheAccess("l1", 0, 2, True, False, False))
+        assert len(got) == 1
+        assert not bus.active
+
+
+class TestMachineIntegration:
+    def test_machine_emits_cache_accesses(self, machine):
+        got = []
+        machine.events.subscribe(CacheAccess, got.append)
+        run_program(machine, [Load(0x10000, 8)])
+        levels = [e.level for e in got]
+        assert "l1" in levels and "llc" in levels
+
+    def test_memory_access_carries_result(self, machine):
+        got = []
+        machine.events.subscribe(MemoryAccess, got.append)
+        run_program(machine, [Store(0x10000, 8)])
+        assert len(got) == 1
+        event = got[0]
+        assert event.is_write and event.addr == 0x10000
+        assert event.result.served_by == ("dram", "fill")
+
+    def test_flit_and_dram_events_match_counters(self, machine):
+        flits = []
+        drams = []
+        machine.events.subscribe(FlitHop, flits.append)
+        machine.events.subscribe(DramAccess, drams.append)
+        run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(8)])
+        assert len(flits) == machine.stats["noc.messages"]
+        assert sum(f.flits * f.hops for f in flits) == machine.stats["noc.flit_hops"]
+        assert sum(1 for d in drams if d.dram_cycled) == machine.stats["dram.accesses"]
+        assert len(drams) == machine.stats["mc_cache.accesses"]
+
+
+#: Every event type the simulator can emit on the hot paths.
+_HOT_PATH_EVENTS = [
+    events.MemoryAccess,
+    events.CacheAccess,
+    events.CoherenceAction,
+    events.Eviction,
+    events.DramAccess,
+    events.FlitHop,
+    events.MorphConstruct,
+    events.MorphDestruct,
+]
+
+
+class TestZeroSubscriberCost:
+    def test_no_events_constructed_without_subscribers(self, machine, monkeypatch):
+        """The guard-checked emit must not even *construct* an event when
+        nothing is subscribed: booby-trap every constructor and run."""
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError(f"{type(self).__name__} constructed with no subscriber")
+
+        for event_type in _HOT_PATH_EVENTS:
+            monkeypatch.setattr(event_type, "__init__", boom)
+        run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(16)])
+        assert machine.stats["dram.accesses"] > 0  # the run really ran
+
+    def test_trap_fires_once_subscribed(self, machine, monkeypatch):
+        """Sanity-check the booby trap: with a subscriber the same run
+        must hit the patched constructor."""
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("constructed")
+
+        monkeypatch.setattr(events.CacheAccess, "__init__", boom)
+        machine.events.subscribe(events.CacheAccess, lambda e: None)
+        with pytest.raises(AssertionError, match="constructed"):
+            machine.hierarchy.access(0, 0x10000, 8, is_write=False)

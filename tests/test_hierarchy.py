@@ -25,7 +25,7 @@ class TestBasicPath:
     def test_second_access_hits_l1(self, machine, hierarchy):
         hierarchy.access(0, ADDR, 8, is_write=False)
         snap = machine.stats.snapshot()
-        latency = hierarchy.access(0, ADDR, 8, is_write=False)
+        latency = hierarchy.access(0, ADDR, 8, is_write=False).latency
         diff = machine.stats.diff(snap)
         assert diff.get("dram.accesses", 0) == 0
         assert diff.get("llc.accesses", 0) == 0
@@ -33,14 +33,14 @@ class TestBasicPath:
 
     def test_hit_latency_ordering(self, machine, hierarchy):
         hierarchy.access(0, ADDR, 8, is_write=False)  # warm
-        l1_hit = hierarchy.access(0, ADDR, 8, is_write=False)
+        l1_hit = hierarchy.access(0, ADDR, 8, is_write=False).latency
         # From another tile: must at least go to the LLC.
-        remote = hierarchy.access(1, ADDR, 8, is_write=False)
+        remote = hierarchy.access(1, ADDR, 8, is_write=False).latency
         assert remote > l1_hit
 
     def test_multi_line_access_overlaps(self, machine, hierarchy):
-        lat_one = hierarchy.access(0, ADDR, 8, is_write=False)
-        lat_four = hierarchy.access(0, ADDR + 0x1000, 256, is_write=False)
+        lat_one = hierarchy.access(0, ADDR, 8, is_write=False).latency
+        lat_four = hierarchy.access(0, ADDR + 0x1000, 256, is_write=False).latency
         # Four lines overlap: latency must be far below 4x a single miss.
         assert lat_four < 3 * lat_one
         assert machine.stats["dram.accesses"] >= 5
@@ -104,8 +104,8 @@ class TestCoherence:
     def test_ping_pong_costs_latency(self, machine, hierarchy):
         hierarchy.access(0, ADDR, 8, is_write=True)
         hierarchy.access(1, ADDR + 0x1000, 8, is_write=True)  # unrelated
-        clean = hierarchy.access(1, ADDR + 0x1000, 8, is_write=True)
-        dirty_remote = hierarchy.access(1, ADDR, 8, is_write=True)
+        clean = hierarchy.access(1, ADDR + 0x1000, 8, is_write=True).latency
+        dirty_remote = hierarchy.access(1, ADDR, 8, is_write=True).latency
         assert dirty_remote > clean
 
     def test_inclusive_recall_on_llc_eviction(self, machine, hierarchy):
@@ -135,7 +135,7 @@ class TestEngineAccess:
 
     def test_engine_hit_is_fast(self, machine, hierarchy):
         hierarchy.access(0, ADDR, 8, is_write=False, engine=True)
-        latency = hierarchy.access(0, ADDR, 8, is_write=False, engine=True)
+        latency = hierarchy.access(0, ADDR, 8, is_write=False, engine=True).latency
         assert latency <= 3
 
     def test_engine_dirty_eviction_writes_to_llc(self, machine, hierarchy):

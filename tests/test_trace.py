@@ -39,6 +39,39 @@ class TestTracer:
         run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(20)])
         assert len(tracer) == 5
 
+    def test_detach_twice_is_safe(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        tracer.detach()
+        tracer.detach()
+        run_program(machine, [Load(0x10008, 8)])
+        assert len(tracer) == 0
+        assert not machine.events.active
+
+    def test_two_tracers_record_independently(self, machine):
+        hot = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        cold = Tracer(machine).watch_range(0x20000, 0x20100, "cold")
+        run_program(machine, [Load(0x10008, 8), Store(0x20000, 8)])
+        assert hot.count(containing="hot") == 1 and len(hot) == 1
+        assert cold.count(containing="cold") == 1 and len(cold) == 1
+        # Detaching one must not disturb the other.
+        hot.detach()
+        run_program(machine, [Load(0x20008, 8)])
+        assert len(hot) == 1
+        assert len(cold) == 2
+
+    def test_morph_constructions_traced(self, machine, runtime):
+        from repro.core.morph import Morph
+
+        class Phantom(Morph):
+            def construct(self, view, index):
+                return
+                yield  # pragma: no cover
+
+        morph = Phantom(runtime, level="l2", n_actors=8, object_size=64)
+        tracer = Tracer(machine).watch_range(morph.base, morph.bound, "phantom")
+        run_program(machine, [Load(morph.get_actor_addr(0), 8)])
+        assert tracer.count(kind="construct") == 1
+
     def test_tracing_does_not_change_timing(self):
         from repro.sim.config import small_config
         from repro.sim.system import Machine
