@@ -64,6 +64,31 @@ def test_sim_speed_smoke():
         )
 
 
+def test_sim_speed_with_telemetry_detached():
+    """Telemetry emit sites must be free when nothing subscribes.
+
+    Every telemetry emit site is guarded by ``bus.active``; with no
+    session installed the per-site cost is one attribute load and a
+    branch. This guard runs the same workloads against the same
+    baseline budget, so an unguarded emit site (or anything else that
+    makes the detached path allocate) trips it even when the plain
+    smoke test's margins absorb the slowdown.
+    """
+    from repro.sim.telemetry.session import active_session
+
+    assert active_session() is None, "a TelemetrySession leaked into this test"
+    baseline = _load_baseline()
+    measured = _measure(baseline)
+    for key, seconds in measured.items():
+        budget = baseline[key] * REGRESSION_FACTOR
+        assert seconds <= budget, (
+            f"emit-site overhead with telemetry detached: {key} took "
+            f"{seconds:.2f}s, budget {budget:.2f}s ({REGRESSION_FACTOR}x the "
+            f"recorded {baseline[key]:.2f}s baseline). Check that every "
+            f"telemetry emit site is guarded by events.active."
+        )
+
+
 if __name__ == "__main__":
     import sys
 

@@ -19,7 +19,7 @@ the hierarchy as a per-tile ``engine_l1``) and share the tile's L2.
 
 from collections import OrderedDict, deque
 
-from repro.sim.events import EngineTask
+from repro.sim.events import EngineTask, EngineTaskDone, EngineTaskStart
 from repro.sim.ops import Condition
 
 #: Payload bytes of a NACK/spill control message.
@@ -80,29 +80,38 @@ class Engine:
     # ------------------------------------------------------------------
     # task submission
     # ------------------------------------------------------------------
-    def submit(self, program, at_time, name, on_accept=None, on_complete=None, near_memory=False):
+    def submit(self, program, at_time, name, on_accept=None, on_complete=None, near_memory=False, cid=None):
         """Submit an offloaded task arriving at ``at_time``.
 
         If a task context is free the task is accepted immediately;
         otherwise the engine NACKs (accounted as spill traffic back to
         the invoker) and the task waits for the next free context.
-        Returns True when accepted without a NACK.
+        Returns True when accepted without a NACK. ``cid`` is the
+        invoke's correlation ID, echoed on every task-lifecycle event.
         """
-        task = _PendingTask(program, name, on_accept, on_complete, near_memory)
+        task = _PendingTask(program, name, on_accept, on_complete, near_memory, cid)
         if self.has_free_context:
-            self._accept(task, at_time)
             if self.machine.events.active:
-                self.machine.events.emit(EngineTask(self.tile, name, True))
+                self.machine.events.emit(
+                    EngineTask(self.tile, name, True, cid, at_time, len(self._queue))
+                )
+            self._accept(task, at_time)
             return True
         self.machine.stats.add("engine.nacks")
-        if self.machine.events.active:
-            self.machine.events.emit(EngineTask(self.tile, name, False))
         self._queue.append(task)
+        if self.machine.events.active:
+            self.machine.events.emit(
+                EngineTask(self.tile, name, False, cid, at_time, len(self._queue))
+            )
         return False
 
     def _accept(self, task, at_time):
         self.busy_offload += 1
         self.machine.stats.add("engine.tasks")
+        if self.machine.events.active:
+            self.machine.events.emit(
+                EngineTaskStart(self.tile, task.name, task.cid, at_time)
+            )
         if task.on_accept is not None:
             task.on_accept(at_time)
         ctx = self.machine.spawn(
@@ -119,6 +128,11 @@ class Engine:
     def _run(self, task):
         """Wrapper adding completion handling around the action program."""
         result = yield from task.program
+        machine = self.machine
+        if machine.events.active:
+            machine.events.emit(
+                EngineTaskDone(self.tile, task.name, task.cid, machine.sim_time())
+            )
         self._release()
         if task.on_complete is not None:
             task.on_complete(result)
@@ -145,11 +159,12 @@ class Engine:
 
 
 class _PendingTask:
-    __slots__ = ("program", "name", "on_accept", "on_complete", "near_memory")
+    __slots__ = ("program", "name", "on_accept", "on_complete", "near_memory", "cid")
 
-    def __init__(self, program, name, on_accept, on_complete, near_memory=False):
+    def __init__(self, program, name, on_accept, on_complete, near_memory=False, cid=None):
         self.program = program
         self.name = name
         self.on_accept = on_accept
         self.on_complete = on_complete
         self.near_memory = near_memory
+        self.cid = cid

@@ -9,6 +9,7 @@ round-trip is needed when the waiter resumes.
 
 from dataclasses import dataclass, field
 
+from repro.sim.events import FutureFilled
 from repro.sim.ops import Condition, Op, Park
 
 #: Payload bytes of a store-update message (future pointer + value).
@@ -24,7 +25,7 @@ class Future:
     or by calling :meth:`fill` directly.
     """
 
-    __slots__ = ("machine", "home_tile", "value", "filled", "fill_time", "condition")
+    __slots__ = ("machine", "home_tile", "value", "filled", "fill_time", "condition", "cid")
 
     def __init__(self, machine, home_tile):
         self.machine = machine
@@ -34,6 +35,10 @@ class Future:
         self.filled = False
         self.fill_time = None
         self.condition = Condition("future")
+        #: Correlation ID of the invoke that owns this future's span
+        #: (set by the first Invoke the future is attached to while the
+        #: event bus is active; continuation re-invokes leave it alone).
+        self.cid = None
 
     def fill(self, value, from_tile):
         """Fill the future from an engine at ``from_tile``.
@@ -51,6 +56,10 @@ class Future:
         self.value = value
         self.filled = True
         self.fill_time = machine.now + latency
+        if machine.events.active:
+            machine.events.emit(
+                FutureFilled(self.home_tile, from_tile, self.cid, self.fill_time)
+            )
         machine.wake_all(self.condition, value=value, at_time=self.fill_time)
 
     def __repr__(self):

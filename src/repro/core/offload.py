@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import NACK_BYTES
 from repro.core.future import Future
-from repro.sim.events import InvokeDispatched
+from repro.sim.events import (
+    EngineTaskDone,
+    EngineTaskStart,
+    InvokeDispatched,
+    InvokeStalled,
+)
 from repro.sim.ops import Condition, Op, Park
 
 #: Base packet bytes for an invoke: actor pointer + function pointer + flags.
@@ -110,6 +115,11 @@ class Invoke(Op):
     tile: int = None
     args_bytes: int = 8
     result: object = field(default=None, compare=False)
+    #: Correlation ID for span tracing. Allocated on first execution
+    #: while the event bus is active and reused across park/retry
+    #: re-executions, so one invoke is one span no matter how often a
+    #: full buffer bounces it.
+    cid: int = field(default=None, compare=False)
 
     def execute(self, machine, ctx):
         runtime = machine.leviathan
@@ -125,7 +135,18 @@ class Invoke(Op):
         self.result = future
 
         target, inline_at_core, near_memory = self._place(machine, runtime, ctx)
+        cid = self.cid
         if machine.events.active:
+            if cid is None:
+                cid = self.cid = machine.next_cid()
+            # Claim the future for this span: FutureFilled events carry
+            # the cid of the invoke the future was first attached to, so
+            # continuation-passing re-invokes do not own the fill.
+            owns_future = False
+            if future is not None:
+                if future.cid is None:
+                    future.cid = cid
+                owns_future = future.cid == cid
             machine.events.emit(
                 InvokeDispatched(
                     ctx.tile,
@@ -134,6 +155,9 @@ class Invoke(Op):
                     self.location.value,
                     inline_at_core,
                     near_memory,
+                    cid=cid,
+                    time=ctx.time,
+                    owns_future=owns_future,
                 )
             )
 
@@ -143,11 +167,18 @@ class Invoke(Op):
         if inline_at_core:
             # DYNAMIC with the actor in the invoker's L1: run right here.
             machine.stats.add("invoke.inline_at_core")
+            name = f"{self.action}@core"
+            if machine.events.active:
+                machine.events.emit(EngineTaskStart(ctx.tile, name, cid, ctx.time))
             latency, value = machine.run_inline(
-                program, ctx.tile, is_engine=ctx.is_engine, name=f"{self.action}@core"
+                program, ctx.tile, is_engine=ctx.is_engine, name=name
             )
             if future is not None and value is not None:
                 future.fill(value, from_tile=ctx.tile)
+            if machine.events.active:
+                machine.events.emit(
+                    EngineTaskDone(ctx.tile, name, cid, ctx.time + latency)
+                )
             return latency
 
         buffer = None
@@ -162,9 +193,17 @@ class Invoke(Op):
                     # Every slot is waiting on a NACKed engine: the
                     # release (and its wake) arrives later in simulated
                     # time, so park until it does.
+                    if machine.events.active:
+                        machine.events.emit(
+                            InvokeStalled(ctx.tile, self.action, cid, ctx.time, None)
+                        )
                     raise Park(buffer.slot_freed, retry=True)
                 # The next ACK time is known: stall the core until then.
                 stall = ack - ctx.time
+                if machine.events.active:
+                    machine.events.emit(
+                        InvokeStalled(ctx.tile, self.action, cid, ctx.time, stall)
+                    )
             slot = buffer.acquire(ctx.time + stall)
 
         packet_bytes = INVOKE_HEADER_BYTES + self.args_bytes
@@ -188,6 +227,7 @@ class Invoke(Op):
             on_accept=on_accept,
             on_complete=on_complete,
             near_memory=near_memory,
+            cid=cid,
         )
         if not accepted:
             # Spill traffic: the NACK back to the core and the re-send.

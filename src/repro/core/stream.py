@@ -19,7 +19,7 @@ which returns :data:`STREAM_END` when the producer finishes.
 """
 
 from repro.core.morph import Morph
-from repro.sim.events import StreamPop, StreamPush
+from repro.sim.events import StreamBlocked, StreamPop, StreamPush
 from repro.sim.ops import Compute, Condition, Load, Store, Wait
 
 #: Returned by ``consume`` when the producer has terminated and the
@@ -146,6 +146,10 @@ class Stream(Morph):
             if self.terminated:
                 raise StreamTerminated()
             self.machine.stats.add("stream.push_blocks")
+            if self.machine.events.active:
+                self.machine.events.emit(
+                    StreamBlocked(self.name, "producer", self.machine.sim_time())
+                )
             yield Wait(self.space_avail)
         if self.terminated:
             raise StreamTerminated()
@@ -156,7 +160,15 @@ class Stream(Morph):
         self.tail += 1
         self.machine.stats.add("stream.pushes")
         if self.machine.events.active:
-            self.machine.events.emit(StreamPush(self.name, index))
+            self.machine.events.emit(
+                StreamPush(
+                    self.name,
+                    index,
+                    time=self.machine.sim_time(),
+                    occupancy=self.tail - self.head_engine,
+                    tile=self.producer_tile,
+                )
+            )
         self.machine.wake_all(self.data_avail)
 
     # ------------------------------------------------------------------
@@ -174,6 +186,10 @@ class Stream(Morph):
             if self.producer_done:
                 return STREAM_END
             self.machine.stats.add("stream.consume_blocks")
+            if self.machine.events.active:
+                self.machine.events.emit(
+                    StreamBlocked(self.name, "consumer", self.machine.sim_time())
+                )
             yield Wait(self.data_avail)
         index = self.head
         addr = self.get_actor_addr(index)
@@ -201,7 +217,16 @@ class Stream(Morph):
         self.machine.stats.add("stream.pops")
         messaged = self.head % self.entries_per_line == 0 or self.head >= self.tail
         if self.machine.events.active:
-            self.machine.events.emit(StreamPop(self.name, index, messaged))
+            self.machine.events.emit(
+                StreamPop(
+                    self.name,
+                    index,
+                    messaged,
+                    time=self.machine.sim_time(),
+                    occupancy=self.tail - self.head,
+                    tile=self.consumer_tile,
+                )
+            )
         if messaged:
             # Crossed into a new line: message the producing engine to
             # bump its head pointer and invalidate the old stream head.

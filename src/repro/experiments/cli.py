@@ -2,9 +2,13 @@
 
 ``leviathan-repro list`` shows every registered experiment;
 ``leviathan-repro all`` regenerates every table and figure.
+``--telemetry-out DIR`` additionally captures telemetry (Perfetto
+trace + metrics snapshot) for every machine each experiment builds;
+``leviathan-repro telemetry DIR`` summarizes a captured directory.
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -52,7 +56,12 @@ def main(argv=None):
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', or 'list' (default)",
+        help="experiment name, 'all', 'list' (default), or 'telemetry'",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        help="for 'telemetry': the --telemetry-out directory to summarize",
     )
     parser.add_argument(
         "--no-check",
@@ -64,12 +73,28 @@ def main(argv=None):
         metavar="FILE",
         help="also write the reports as a markdown document",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        help="capture telemetry (Perfetto trace + metrics) per experiment "
+        "machine under DIR/<experiment>/machine-NN/",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in registry.names():
             print(f"{name:22s} {registry.describe()[name]}")
         return 0
+
+    if args.experiment == "telemetry":
+        from repro.experiments.telemetry_report import report
+
+        if not args.target:
+            print("usage: leviathan-repro telemetry DIR", file=sys.stderr)
+            return 2
+        text, ok = report(args.target)
+        print(text)
+        return 0 if ok else 1
 
     from repro.experiments.plotting import speedup_chart
 
@@ -78,7 +103,18 @@ def main(argv=None):
     markdown_sections = []
     for name in names:
         started = time.time()
-        experiment = registry.run(name)
+        if args.telemetry_out:
+            from repro.sim.telemetry import TelemetrySession
+
+            with TelemetrySession() as session:
+                experiment = registry.run(name)
+            outdir = os.path.join(args.telemetry_out, name)
+            session.save(outdir)
+            print(
+                f"telemetry: {len(session.telemetries)} machine(s) -> {outdir}"
+            )
+        else:
+            experiment = registry.run(name)
         elapsed = time.time() - started
         print(experiment.report())
         if any("speedup" in row for row in experiment.rows):

@@ -1,0 +1,94 @@
+"""Summarize ``--telemetry-out`` artifact directories.
+
+``python -m repro.experiments telemetry DIR`` walks ``DIR`` for run
+directories (any directory containing both ``trace.json`` and
+``metrics.json``), re-validates every trace, and prints a digest of
+the headline metrics: span counts, invoke-latency percentiles, NACK
+and stall totals, and which windowed time series were captured.
+"""
+
+import json
+import os
+
+from repro.sim.telemetry.perfetto import load_and_validate
+
+
+def find_runs(root):
+    """Run directories (holding trace.json + metrics.json) under ``root``."""
+    runs = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        if "trace.json" in filenames and "metrics.json" in filenames:
+            runs.append(dirpath)
+    return sorted(runs)
+
+
+def summarize_run(run_dir):
+    """The digest dict for one run directory (validates the trace)."""
+    trace, problems = load_and_validate(os.path.join(run_dir, "trace.json"))
+    with open(os.path.join(run_dir, "metrics.json")) as handle:
+        metrics = json.load(handle)
+    meta = metrics.get("meta", {})
+    histograms = metrics.get("histograms", {})
+    counters = metrics.get("counters", {})
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "b")
+    return {
+        "dir": run_dir,
+        "cycles": meta.get("cycles"),
+        "trace_events": len(trace["traceEvents"]),
+        "trace_spans": spans,
+        "trace_problems": problems,
+        "spans_unclosed": meta.get("spans_unclosed", 0),
+        "spans_dropped": meta.get("spans_dropped", 0),
+        "invoke_latency": histograms.get("invoke.latency"),
+        "nacks": counters.get('engine.arrivals{outcome="nacked"}', 0),
+        "stalls": counters.get("invoke.stall_events", 0),
+        "timeseries": sorted(metrics.get("timeseries", {})),
+    }
+
+
+def render(summary):
+    """Human-readable lines for one :func:`summarize_run` digest."""
+    lines = [f"-- {summary['dir']}"]
+    status = "VALID" if not summary["trace_problems"] else "INVALID"
+    lines.append(
+        f"   trace: {status}, {summary['trace_events']} events, "
+        f"{summary['trace_spans']} spans "
+        f"(unclosed {summary['spans_unclosed']}, dropped {summary['spans_dropped']})"
+    )
+    for problem in summary["trace_problems"][:5]:
+        lines.append(f"   !! {problem}")
+    if summary["cycles"] is not None:
+        lines.append(f"   cycles: {summary['cycles']:.0f}")
+    latency = summary["invoke_latency"]
+    if latency and latency.get("count"):
+        lines.append(
+            f"   invoke.latency: n={latency['count']} mean={latency['mean']:.0f}"
+            f" p50<={latency['p50']:.0f} p95<={latency['p95']:.0f}"
+            f" p99<={latency['p99']:.0f} max={latency['max']:.0f}"
+        )
+    lines.append(f"   nacks: {summary['nacks']}  stall events: {summary['stalls']}")
+    if summary["timeseries"]:
+        names = sorted({key.split("{", 1)[0] for key in summary["timeseries"]})
+        lines.append(
+            f"   time series: {len(summary['timeseries'])} "
+            f"({', '.join(names)})"
+        )
+    return "\n".join(lines)
+
+
+def report(root):
+    """Summarize every run under ``root``; returns (text, ok)."""
+    runs = find_runs(root)
+    if not runs:
+        return f"no telemetry runs under {root}", False
+    sections = []
+    ok = True
+    for run_dir in runs:
+        summary = summarize_run(run_dir)
+        sections.append(render(summary))
+        if summary["trace_problems"]:
+            ok = False
+    sections.append(
+        f"{len(runs)} run(s); open trace.json files in https://ui.perfetto.dev"
+    )
+    return "\n".join(sections), ok

@@ -66,7 +66,7 @@ class EventBus:
         event twice.
         """
         self._handlers[event_type] = self._handlers.get(event_type, ()) + (handler,)
-        self.active = True
+        self._recompute_active()
         return handler
 
     def unsubscribe(self, event_type, handler):
@@ -84,6 +84,17 @@ class EventBus:
             self._handlers[event_type] = remaining
         else:
             self._handlers.pop(event_type, None)
+        self._recompute_active()
+
+    def _recompute_active(self):
+        """Re-derive ``active`` from the registry across *all* event types.
+
+        The guard must drop back to False the moment the last handler
+        anywhere detaches -- otherwise every emit site keeps allocating
+        events nobody receives for the rest of the machine's life. Empty
+        handler tuples are never retained in ``_handlers`` (unsubscribe
+        pops the key), so the truthiness of the dict is the invariant.
+        """
         self.active = bool(self._handlers)
 
     def wants(self, event_type):
@@ -215,7 +226,17 @@ class MorphDestruct:
 
 @dataclass
 class InvokeDispatched:
-    """An ``invoke`` chose its executing tile (Sec. V-B1 placement)."""
+    """An ``invoke`` chose its executing tile (Sec. V-B1 placement).
+
+    ``cid`` is the invoke's correlation ID, allocated once per invoke
+    (stable across park/retry re-executions) and threaded through every
+    event of the offload lifecycle so subscribers can stitch causal
+    spans: issue -> placement -> NACK/spill/retry -> execution -> future
+    fulfillment. ``owns_future`` is True when this invoke claimed the
+    attached future, i.e. the eventual :class:`FutureFilled` event with
+    this ``cid`` belongs to this dispatch (continuation-passing re-invokes
+    carry the caller's future without owning it).
+    """
 
     tile: int
     target: int
@@ -223,30 +244,121 @@ class InvokeDispatched:
     location: str
     inline: bool
     near_memory: bool
+    cid: int = None
+    time: float = None
+    owns_future: bool = False
+
+
+@dataclass
+class InvokeStalled:
+    """A core hit a full invoke buffer (Fig. 22's queueing effect).
+
+    ``wait`` is the known stall in cycles when the next ACK time is
+    known, or None when every slot is waiting on a NACKed engine and the
+    core parks until a release wakes it (the retry re-emits
+    :class:`InvokeDispatched` with the same ``cid``).
+    """
+
+    tile: int
+    action: str
+    cid: int = None
+    time: float = None
+    wait: float = None
 
 
 @dataclass
 class EngineTask:
-    """An offloaded task arrived at an engine (accepted or NACKed)."""
+    """An offloaded task arrived at an engine (accepted or NACKed).
+
+    ``queued`` is the engine's spill-queue depth just after the arrival
+    was handled (0 whenever a task context was free).
+    """
 
     tile: int
     name: str
     accepted: bool
+    cid: int = None
+    time: float = None
+    queued: int = 0
+
+
+@dataclass
+class EngineTaskStart:
+    """A task acquired an engine task context and began executing.
+
+    For NACKed tasks this is the retry acceptance, so ``time`` minus the
+    NACKing :class:`EngineTask`'s ``time`` is the spill wait.
+    """
+
+    tile: int
+    name: str
+    cid: int = None
+    time: float = None
+
+
+@dataclass
+class EngineTaskDone:
+    """A task's action program ran to completion on its engine."""
+
+    tile: int
+    name: str
+    cid: int = None
+    time: float = None
+
+
+@dataclass
+class FutureFilled:
+    """A future was filled by a near-data action (store-update sent).
+
+    ``time`` is the store-update message's *arrival* at the waiter's
+    core; ``cid`` is the correlation ID of the invoke that owns the
+    future (the first invoke the future was attached to).
+    """
+
+    home_tile: int
+    from_tile: int
+    cid: int = None
+    time: float = None
 
 
 @dataclass
 class StreamPush:
-    """A producer pushed one entry into a stream's circular buffer."""
+    """A producer pushed one entry into a stream's circular buffer.
+
+    ``occupancy`` is the producer-visible buffer fill (entries pushed
+    but not yet acknowledged by a head-pointer message) after the push.
+    """
 
     stream: str
     index: int
+    time: float = None
+    occupancy: int = 0
+    tile: int = None
 
 
 @dataclass
 class StreamPop:
     """A consumer popped one entry; ``messaged`` marks a head-pointer
-    message to the producing engine (sent once per line crossed)."""
+    message to the producing engine (sent once per line crossed).
+
+    ``occupancy`` is the consumer-visible buffer fill (entries produced
+    but not yet popped) after the pop.
+    """
 
     stream: str
     index: int
     messaged: bool
+    time: float = None
+    occupancy: int = 0
+    tile: int = None
+
+
+@dataclass
+class StreamBlocked:
+    """A stream endpoint blocked: the producer on a full circular
+    buffer (``side == "producer"``) or the consumer on an empty one
+    (``side == "consumer"``)."""
+
+    stream: str
+    side: str
+    time: float = None

@@ -16,6 +16,7 @@ from repro.sim.events import EventBus
 from repro.sim.hierarchy import Hierarchy
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
+from repro.sim.telemetry.session import notify_machine_created
 from repro.sim.thread import InlineContext
 from repro.sim.tile import Tile
 
@@ -45,6 +46,14 @@ class Machine:
         self.engines = None
         #: The Leviathan runtime, when one is installed on this machine.
         self.leviathan = None
+        #: Correlation-ID source for causal span tracing. IDs are only
+        #: drawn while the event bus is active, so a subscriber-free
+        #: machine pays nothing; they never influence timing, keeping
+        #: runs bit-identical with and without observers.
+        self._cid = 0
+        # Last: hand the fully-built machine to any installed telemetry
+        # session (a module-global check; no-op when none is active).
+        notify_machine_created(self)
 
     # ------------------------------------------------------------------
     # execution
@@ -88,6 +97,21 @@ class Machine:
     @property
     def now(self):
         return self.scheduler.now
+
+    def sim_time(self):
+        """The running context's local time (falls back to global now).
+
+        Event emitters use this for timestamps: during an operation the
+        context's clock is ahead of the scheduler's global ``now``,
+        which only advances when contexts are re-queued.
+        """
+        current = self.scheduler.current
+        return current.time if current is not None else self.scheduler.now
+
+    def next_cid(self):
+        """Allocate the next correlation ID (see ``_cid`` above)."""
+        self._cid += 1
+        return self._cid
 
     def compute_latency(self, ctx, instructions):
         """Latency of ``instructions`` on the context's compute resource."""

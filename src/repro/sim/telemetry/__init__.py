@@ -1,0 +1,48 @@
+"""Telemetry over the event bus: metrics, causal spans, Perfetto export.
+
+Nothing here runs unless attached: the simulator's emit sites are
+guarded by ``events.active``, so a machine without telemetry pays one
+attribute load per potential emit and allocates nothing. Attach a
+:class:`Telemetry` to one machine, or install a
+:class:`TelemetrySession` to capture every machine an experiment
+builds (what ``--telemetry-out`` does).
+"""
+
+from repro.sim.telemetry.metrics import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.sim.telemetry.perfetto import (
+    chrome_trace,
+    load_and_validate,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.telemetry.session import (
+    Telemetry,
+    TelemetrySession,
+    active_session,
+    notify_machine_created,
+)
+from repro.sim.telemetry.spans import Span, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "Span",
+    "SpanTracker",
+    "Telemetry",
+    "TelemetrySession",
+    "active_session",
+    "notify_machine_created",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "load_and_validate",
+]

@@ -1,0 +1,415 @@
+"""The telemetry facade: attach, collect, save.
+
+:class:`Telemetry` subscribes one machine's event bus to a
+:class:`~repro.sim.telemetry.metrics.MetricsRegistry` and a
+:class:`~repro.sim.telemetry.spans.SpanTracker`, and knows how to write
+the three artifacts a run produces:
+
+- ``trace.json``  -- the Perfetto/Chrome trace (spans + counter tracks);
+- ``metrics.json`` -- the JSON metrics snapshot;
+- ``metrics.prom`` -- the Prometheus-style text dump.
+
+:class:`TelemetrySession` scales that to whole experiment runs: while
+*installed*, every :class:`~repro.sim.system.Machine` constructed
+anywhere in the process gets a ``Telemetry`` attached automatically
+(the construction hook is a single module-global check, so the
+uninstalled cost is one ``is None`` test per machine, and zero per
+event). ``session.save(outdir)`` then writes one artifact directory
+per machine. This is what the experiment runner's ``--telemetry-out``
+flag drives.
+
+Telemetry is an observer: it subscribes to the bus and reads machine
+state, but never advances time or mutates anything, so simulated
+results are bit-identical with and without it attached.
+"""
+
+import os
+
+from repro.sim.events import (
+    CacheAccess,
+    DramAccess,
+    EngineTask,
+    EngineTaskDone,
+    EngineTaskStart,
+    FlitHop,
+    FutureFilled,
+    InvokeDispatched,
+    InvokeStalled,
+    MemoryAccess,
+    StreamBlocked,
+    StreamPop,
+    StreamPush,
+)
+from repro.sim.telemetry.metrics import MetricsRegistry
+from repro.sim.telemetry.perfetto import chrome_trace, write_chrome_trace
+from repro.sim.telemetry.spans import SpanTracker
+
+
+class Telemetry:
+    """Metrics + spans for one machine, fed by its event bus."""
+
+    def __init__(self, machine, label=None, window=1024, max_spans=200_000):
+        self.machine = machine
+        self.label = label
+        self.metrics = MetricsRegistry(default_window=window)
+        self.spans = SpanTracker(max_spans=max_spans, on_close=self._span_closed)
+        self._finalized = False
+        self._attached = False
+        self._handlers = (
+            (InvokeDispatched, self._on_invoke_dispatched),
+            (InvokeStalled, self._on_invoke_stalled),
+            (EngineTask, self._on_engine_task),
+            (EngineTaskStart, self._on_engine_start),
+            (EngineTaskDone, self._on_engine_done),
+            (FutureFilled, self._on_future_filled),
+            (StreamPush, self._on_stream_push),
+            (StreamPop, self._on_stream_pop),
+            (StreamBlocked, self._on_stream_blocked),
+            (CacheAccess, self._on_cache_access),
+            (FlitHop, self._on_flit_hop),
+            (DramAccess, self._on_dram_access),
+            (MemoryAccess, self._on_memory_access),
+        )
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # bus wiring
+    # ------------------------------------------------------------------
+    def attach(self):
+        if not self._attached:
+            for event_type, handler in self._handlers:
+                self.machine.events.subscribe(event_type, handler)
+            self._attached = True
+        return self
+
+    def detach(self):
+        """Stop observing (idempotent; recorded data stays readable)."""
+        if self._attached:
+            for event_type, handler in self._handlers:
+                self.machine.events.unsubscribe(event_type, handler)
+            self._attached = False
+        return self
+
+    # ------------------------------------------------------------------
+    # handlers: offload lifecycle
+    # ------------------------------------------------------------------
+    def _on_invoke_dispatched(self, ev):
+        self.metrics.counter(
+            "invoke.dispatched", labels={"location": ev.location}
+        ).inc()
+        if ev.inline:
+            self.metrics.counter("invoke.inline").inc()
+        runtime = self.machine.leviathan
+        if runtime is not None:
+            buffer = runtime.invoke_buffers[ev.tile]
+            self.metrics.timeseries(
+                "invoke_buffer.occupancy",
+                labels={"tile": ev.tile},
+                help="in-flight (un-ACKed) invokes per core buffer",
+            ).record(ev.time, buffer.in_flight)
+        self.spans.invoke_dispatched(ev)
+
+    def _on_invoke_stalled(self, ev):
+        self.metrics.counter("invoke.stall_events").inc()
+        if ev.wait is not None:
+            self.metrics.histogram(
+                "invoke.buffer_wait", help="cycles stalled on a full invoke buffer"
+            ).observe(ev.wait)
+        self.spans.invoke_stalled(ev)
+
+    def _on_engine_task(self, ev):
+        outcome = "accepted" if ev.accepted else "nacked"
+        self.metrics.counter("engine.arrivals", labels={"outcome": outcome}).inc()
+        engines = self.machine.engines
+        if engines is not None:
+            engine = engines[ev.tile]
+            t = ev.time if ev.time is not None else self.machine.now
+            self.metrics.timeseries(
+                "engine.task_contexts",
+                labels={"tile": ev.tile},
+                help="busy offload task contexts + spill-queued tasks",
+            ).record(t, engine.busy_offload + engine.queued_tasks)
+        self.spans.engine_task(ev)
+
+    def _on_engine_start(self, ev):
+        self.spans.engine_start(ev)
+
+    def _on_engine_done(self, ev):
+        self.spans.engine_done(ev)
+
+    def _on_future_filled(self, ev):
+        self.metrics.counter("future.fills").inc()
+        self.spans.future_filled(ev)
+
+    def _span_closed(self, span):
+        if span.cat == "invoke":
+            self.metrics.histogram(
+                "invoke.latency",
+                help="invoke issue to completion (incl. future fill), cycles",
+            ).observe(span.duration)
+            for phase, metric in (
+                ("execute", "invoke.execute_cycles"),
+                ("nack-wait", "invoke.nack_wait"),
+                ("buffer-wait", "invoke.buffer_wait_observed"),
+                ("future-wait", "invoke.future_wait"),
+            ):
+                cycles = span.phase_cycles(phase)
+                if cycles:
+                    self.metrics.histogram(metric).observe(cycles)
+            if span.args.get("nacks"):
+                self.metrics.counter("invoke.nacked_spans").inc()
+        elif span.cat == "stream":
+            stream = span.name.split("[", 1)[0]
+            self.metrics.histogram(
+                "stream.entry_latency",
+                labels={"stream": stream},
+                help="push to pop, cycles",
+            ).observe(span.duration)
+        elif span.cat == "stream-wait":
+            self.metrics.histogram(
+                "stream.block_cycles", labels={"side": span.args.get("side", "?")}
+            ).observe(span.duration)
+
+    # ------------------------------------------------------------------
+    # handlers: streaming
+    # ------------------------------------------------------------------
+    def _on_stream_push(self, ev):
+        self.metrics.counter("stream.pushes", labels={"stream": ev.stream}).inc()
+        if ev.time is not None:
+            self.metrics.timeseries(
+                "stream.occupancy",
+                labels={"stream": ev.stream},
+                help="circular-buffer entries outstanding",
+            ).record(ev.time, ev.occupancy)
+        self.spans.stream_push(ev)
+
+    def _on_stream_pop(self, ev):
+        self.metrics.counter("stream.pops", labels={"stream": ev.stream}).inc()
+        if ev.time is not None:
+            self.metrics.timeseries(
+                "stream.occupancy", labels={"stream": ev.stream}
+            ).record(ev.time, ev.occupancy)
+        self.spans.stream_pop(ev)
+
+    def _on_stream_blocked(self, ev):
+        self.metrics.counter(
+            "stream.blocked", labels={"stream": ev.stream, "side": ev.side}
+        ).inc()
+        self.spans.stream_blocked(ev)
+
+    # ------------------------------------------------------------------
+    # handlers: fabric pressure
+    # ------------------------------------------------------------------
+    def _on_cache_access(self, ev):
+        if ev.level != "llc":
+            return
+        self.metrics.counter("llc.bank_accesses", labels={"bank": ev.tile}).inc()
+        if not ev.hit:
+            self.metrics.counter("llc.bank_misses", labels={"bank": ev.tile}).inc()
+        self.metrics.timeseries(
+            "llc.bank_pressure",
+            labels={"bank": ev.tile},
+            mode="sum",
+            help="LLC bank lookups per window",
+        ).record(self.machine.sim_time(), 1)
+
+    def _on_flit_hop(self, ev):
+        flit_hops = ev.flits * ev.hops
+        self.metrics.counter("noc.flits").inc(ev.flits)
+        self.metrics.counter("noc.flit_hops").inc(flit_hops)
+        t = self.machine.sim_time()
+        self.metrics.timeseries(
+            "noc.utilization", mode="sum", help="flit-hops per window"
+        ).record(t, flit_hops)
+        if ev.hops:
+            noc = self.machine.hierarchy.noc
+            for src, dst in self._xy_links(noc, ev.src, ev.dst):
+                self.metrics.counter(
+                    "noc.link_flits", labels={"link": f"{src}>{dst}"}
+                ).inc(ev.flits)
+
+    @staticmethod
+    def _xy_links(noc, src, dst):
+        """The directed (tile, tile) links an XY-routed message crosses."""
+        x, y = noc.coords(src)
+        dx, dy = noc.coords(dst)
+        at = src
+        while x != dx:
+            x += 1 if dx > x else -1
+            nxt = y * noc.width + x
+            yield at, nxt
+            at = nxt
+        while y != dy:
+            y += 1 if dy > y else -1
+            nxt = y * noc.width + x
+            yield at, nxt
+            at = nxt
+
+    def _on_dram_access(self, ev):
+        self.metrics.counter("dram.accesses").inc()
+        if ev.fifo_hit:
+            self.metrics.counter("dram.fifo_hits").inc()
+
+    def _on_memory_access(self, ev):
+        who = "engine" if ev.engine else "core"
+        self.metrics.histogram(
+            "mem.request_latency", labels={"by": who}
+        ).observe(ev.result.latency)
+
+    # ------------------------------------------------------------------
+    # teardown and artifacts
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """Close open spans and record run-level gauges (idempotent)."""
+        if self._finalized:
+            return self
+        self._finalized = True
+        now = self.machine.scheduler.now
+        self.spans.finalize(now)
+        self.metrics.gauge("machine.cycles").set(now)
+        self.metrics.gauge("spans.finished").set(len(self.spans.finished))
+        self.metrics.counter("spans.unclosed").inc(self.spans.unclosed)
+        self.metrics.counter("spans.dropped").inc(self.spans.dropped)
+        return self
+
+    def meta(self):
+        return {
+            "label": self.label,
+            "n_tiles": self.machine.config.n_tiles,
+            "cycles": self.machine.scheduler.now,
+            "spans": len(self.spans.finished),
+            "spans_unclosed": self.spans.unclosed,
+            "spans_dropped": self.spans.dropped,
+        }
+
+    def trace(self):
+        """The Chrome-trace dict for this run (finalizes first)."""
+        self.finalize()
+        return chrome_trace(self.spans.finished, metrics=self.metrics, meta=self.meta())
+
+    def save(self, outdir):
+        """Write trace.json / metrics.json / metrics.prom into ``outdir``."""
+        self.finalize()
+        os.makedirs(outdir, exist_ok=True)
+        meta = self.meta()
+        write_chrome_trace(
+            os.path.join(outdir, "trace.json"),
+            self.spans.finished,
+            metrics=self.metrics,
+            meta=meta,
+        )
+        with open(os.path.join(outdir, "metrics.json"), "w") as handle:
+            handle.write(self.metrics.to_json(meta=meta))
+        with open(os.path.join(outdir, "metrics.prom"), "w") as handle:
+            handle.write(self.metrics.render_prometheus(meta=meta))
+        return outdir
+
+    def summary(self):
+        """A short human-readable digest of the run's telemetry."""
+        self.finalize()
+        lines = [
+            f"cycles {self.machine.scheduler.now:.0f}  spans {len(self.spans.finished)}"
+            f"  unclosed {self.spans.unclosed}  dropped {self.spans.dropped}"
+        ]
+        latency = self.metrics.value("invoke.latency")
+        if latency and latency["count"]:
+            lines.append(
+                f"invoke.latency: n={latency['count']} mean={latency['mean']:.0f}"
+                f" p50<={latency['p50']:.0f} p95<={latency['p95']:.0f}"
+                f" max={latency['max']:.0f}"
+            )
+        for name in ("invoke.execute_cycles", "invoke.nack_wait", "stream.entry_latency"):
+            for key, hist in sorted(self.metrics.series(name).items()):
+                if hist.count:
+                    label = name + ("" if not key else str(dict(key)))
+                    lines.append(
+                        f"{label}: n={hist.count} mean={hist.mean:.0f} max={hist.max:.0f}"
+                    )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the process-wide session (what --telemetry-out installs)
+# ----------------------------------------------------------------------
+_session = None
+
+
+def notify_machine_created(machine):
+    """Called by ``Machine.__init__``; no-op unless a session is installed."""
+    if _session is not None:
+        _session.observe(machine)
+
+
+def active_session():
+    return _session
+
+
+class TelemetrySession:
+    """Attach telemetry to every machine built while installed."""
+
+    def __init__(self, window=1024, max_spans=200_000):
+        self.window = window
+        self.max_spans = max_spans
+        self.telemetries = []
+
+    # -- hook management ------------------------------------------------
+    def install(self):
+        global _session
+        if _session is not None and _session is not self:
+            raise RuntimeError("another TelemetrySession is already installed")
+        _session = self
+        return self
+
+    def uninstall(self):
+        global _session
+        if _session is self:
+            _session = None
+        return self
+
+    def __enter__(self):
+        return self.install()
+
+    def __exit__(self, *exc):
+        self.uninstall()
+        return False
+
+    # -- collection -----------------------------------------------------
+    def observe(self, machine, label=None):
+        telemetry = Telemetry(
+            machine,
+            label=label or f"machine-{len(self.telemetries):02d}",
+            window=self.window,
+            max_spans=self.max_spans,
+        )
+        self.telemetries.append(telemetry)
+        return telemetry
+
+    def detach(self):
+        for telemetry in self.telemetries:
+            telemetry.detach()
+        return self
+
+    def reset(self):
+        """Detach and forget every collected machine."""
+        self.detach()
+        self.telemetries = []
+        return self
+
+    # -- artifacts ------------------------------------------------------
+    def save(self, outdir):
+        """One artifact directory per observed machine; returns the paths."""
+        os.makedirs(outdir, exist_ok=True)
+        paths = []
+        index = []
+        for telemetry in self.telemetries:
+            sub = os.path.join(outdir, telemetry.label)
+            telemetry.save(sub)
+            paths.append(sub)
+            meta = telemetry.meta()
+            index.append(
+                f"{telemetry.label}: cycles={meta['cycles']:.0f} "
+                f"spans={meta['spans']} unclosed={meta['spans_unclosed']}"
+            )
+        with open(os.path.join(outdir, "summary.txt"), "w") as handle:
+            handle.write("\n".join(index) + "\n")
+        return paths

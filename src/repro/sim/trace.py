@@ -43,6 +43,10 @@ class Tracer:
         self.machine = machine
         self.max_events = max_events
         self.events = []
+        #: Events discarded after ``max_events`` filled up. A truncated
+        #: trace must say so: silently stopping reads as "nothing else
+        #: happened", which is the opposite of the truth.
+        self.dropped = 0
         self._ranges = []  # (lo, hi, label)
         self._bus = machine.events
         self._bus.subscribe(MemoryAccess, self._on_access)
@@ -74,6 +78,7 @@ class Tracer:
 
     def _record(self, kind, detail):
         if len(self.events) >= self.max_events:
+            self.dropped += 1
             return
         self.events.append(
             TraceEvent(time=self.machine.scheduler.now, kind=kind, detail=detail)
@@ -119,7 +124,14 @@ class Tracer:
 
     def render(self, limit=None):
         events = self.events if limit is None else self.events[:limit]
-        return "\n".join(str(e) for e in events)
+        lines = [str(e) for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more recorded)")
+        if self.dropped:
+            lines.append(
+                f"... ({self.dropped} events dropped past max_events={self.max_events})"
+            )
+        return "\n".join(lines)
 
     def count(self, kind=None, containing=None):
         """Number of recorded events, optionally filtered."""

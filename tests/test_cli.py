@@ -54,3 +54,40 @@ class TestCli:
         # compaction rows carry no speedup -> no chart, still fine
         out = capsys.readouterr().out
         assert "fragmentation_pct" in out
+
+
+class TestTelemetryCli:
+    def test_telemetry_out_captures_artifacts(self, tmp_path, capsys):
+        from repro.sim.telemetry import load_and_validate
+        from repro.sim.telemetry.session import active_session
+
+        outdir = tmp_path / "telem"
+        assert cli.main(["ablation-mc-cache", "--no-check",
+                         "--telemetry-out", str(outdir)]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        # The session must not leak past the run.
+        assert active_session() is None
+        runs = sorted((outdir / "ablation-mc-cache").glob("machine-*"))
+        assert runs
+        for run in runs:
+            assert (run / "metrics.json").exists()
+            assert (run / "metrics.prom").exists()
+            _trace, problems = load_and_validate(str(run / "trace.json"))
+            assert problems == []
+
+    def test_telemetry_report_command(self, tmp_path, capsys):
+        outdir = tmp_path / "telem"
+        assert cli.main(["ablation-mc-cache", "--no-check",
+                         "--telemetry-out", str(outdir)]) == 0
+        capsys.readouterr()
+        assert cli.main(["telemetry", str(outdir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace: VALID" in out
+        assert "ui.perfetto.dev" in out
+
+    def test_telemetry_command_requires_dir(self, capsys):
+        assert cli.main(["telemetry"]) == 2
+
+    def test_telemetry_report_empty_dir(self, tmp_path, capsys):
+        assert cli.main(["telemetry", str(tmp_path)]) == 1
+        assert "no telemetry runs" in capsys.readouterr().out

@@ -79,6 +79,27 @@ class TestRegistration:
         bus.unsubscribe(CacheAccess, keep)
         assert not bus.active
 
+    def test_active_recomputed_across_all_types(self):
+        """Removing the last handler of one type must consult every
+        *other* type before dropping the guard — and removing the truly
+        last handler must drop it no matter which type it was under or
+        in which order the others detached."""
+        bus = EventBus()
+        handlers = {
+            event_type: bus.subscribe(event_type, lambda e: None)
+            for event_type in (CacheAccess, Eviction, FlitHop, DramAccess)
+        }
+        for i, (event_type, handler) in enumerate(list(handlers.items())):
+            assert bus.active  # still someone left before this removal
+            bus.unsubscribe(event_type, handler)
+            remaining = len(handlers) - 1 - i
+            assert bus.active == (remaining > 0)
+            assert bus.subscriber_count() == remaining
+        assert not bus.active
+        # Re-attaching after full drain re-arms the guard.
+        bus.subscribe(MemoryAccess, lambda e: None)
+        assert bus.active
+
 
 class TestDispatch:
     def test_dispatch_by_exact_type(self):

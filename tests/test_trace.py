@@ -39,6 +39,20 @@ class TestTracer:
         run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(20)])
         assert len(tracer) == 5
 
+    def test_truncation_is_counted_and_rendered(self, machine):
+        tracer = Tracer(machine, max_events=5).watch_range(0, 1 << 30, "all")
+        run_program(machine, [Load(0x10000 + i * 64, 8) for i in range(20)])
+        assert tracer.dropped == 15
+        rendered = tracer.render()
+        assert "15 events dropped" in rendered
+        assert "max_events=5" in rendered
+
+    def test_no_truncation_no_dropped_line(self, machine):
+        tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
+        run_program(machine, [Load(0x10008, 8)])
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.render()
+
     def test_detach_twice_is_safe(self, machine):
         tracer = Tracer(machine).watch_range(0x10000, 0x10100, "hot")
         tracer.detach()
