@@ -89,6 +89,32 @@ def test_sim_speed_with_telemetry_detached():
         )
 
 
+def test_sim_speed_with_faults_detached():
+    """Fault hooks must be free when no plan is attached.
+
+    Every fault hook site (NoC send, DRAM access, engine acceptance,
+    the watchdog counter) is guarded by a ``faults is None`` check or an
+    integer compare; with no :class:`~repro.sim.faults.FaultSession`
+    installed the simulator must fit the same budget as the recorded
+    baseline. An unguarded hook (or a detached plan that still pays
+    per-event costs) trips this even when the plain smoke test's
+    margins absorb it.
+    """
+    from repro.sim.faults import active_session
+
+    assert active_session() is None, "a FaultSession leaked into this test"
+    baseline = _load_baseline()
+    measured = _measure(baseline)
+    for key, seconds in measured.items():
+        budget = baseline[key] * REGRESSION_FACTOR
+        assert seconds <= budget, (
+            f"hook overhead with faults detached: {key} took "
+            f"{seconds:.2f}s, budget {budget:.2f}s ({REGRESSION_FACTOR}x the "
+            f"recorded {baseline[key]:.2f}s baseline). Check that every "
+            f"fault hook site is guarded by 'faults is None'."
+        )
+
+
 if __name__ == "__main__":
     import sys
 

@@ -19,7 +19,7 @@ the hierarchy as a per-tile ``engine_l1``) and share the tile's L2.
 
 from collections import OrderedDict, deque
 
-from repro.sim.events import EngineTask, EngineTaskDone, EngineTaskStart
+from repro.sim.events import EngineFailed, EngineTask, EngineTaskDone, EngineTaskStart
 from repro.sim.ops import Condition
 
 #: Payload bytes of a NACK/spill control message.
@@ -43,6 +43,15 @@ class Engine:
         self.busy_offload = 0
         self._queue = deque()
         self.context_freed = Condition(f"engine{tile}.context")
+        #: Fault state (:mod:`repro.sim.faults`). A *failed* engine is
+        #: fail-stop for new work: in-flight tasks complete, spill-queued
+        #: tasks are rerouted, and every later arrival degrades
+        #: (Sec. VI-C). Stall/exhaustion windows make the engine NACK
+        #: arrivals until the window closes.
+        self.failed = False
+        self.failed_at = None
+        self._stalled_until = 0.0
+        self._exhausted_until = 0.0
         #: Reverse TLB (Sec. VI-A1): translates cached physical lines
         #: back to virtual addresses before data-triggered actions run.
         #: LRU over pages; misses pay a refill penalty.
@@ -77,6 +86,63 @@ class Engine:
     def has_free_context(self):
         return self.busy_offload < self.offload_capacity
 
+    def accepting(self, at_time):
+        """True when a task arriving at ``at_time`` can take a context.
+
+        With no fault state this is exactly :attr:`has_free_context`;
+        a failed engine never accepts, and stall/exhaustion windows
+        NACK every arrival inside them.
+        """
+        if self.failed:
+            return False
+        if at_time < self._stalled_until or at_time < self._exhausted_until:
+            return False
+        return self.has_free_context
+
+    # ------------------------------------------------------------------
+    # fault state (driven by repro.sim.faults)
+    # ------------------------------------------------------------------
+    def fail(self, at_time=0.0):
+        """Mark the engine failed (fail-stop for new work).
+
+        In-flight tasks run to completion; spill-queued tasks have not
+        started and are bounced to a healthy engine (or to on-core
+        execution when none remains).
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.failed_at = at_time
+        machine = self.machine
+        machine.stats.add("faults.engine_failures")
+        if machine.events.active:
+            machine.events.emit(EngineFailed(self.tile, at_time))
+        pending, self._queue = list(self._queue), deque()
+        for task in pending:
+            self.runtime.reroute_task(self, task, at_time)
+        # Waiters on context_freed will never get one here.
+        machine.wake_all(self.context_freed)
+
+    def stall(self, until):
+        """NACK every offload arriving before ``until`` (transient stall)."""
+        self._stalled_until = max(self._stalled_until, until)
+
+    def exhaust(self, until):
+        """Model task-context-buffer exhaustion until ``until``."""
+        self._exhausted_until = max(self._exhausted_until, until)
+
+    def kick(self, at_time=None):
+        """Drain the spill queue while contexts are free.
+
+        Called at the end of a stall/exhaustion window: queued tasks are
+        normally re-accepted by ``_release`` when a context frees, but a
+        window can leave free contexts *and* a non-empty queue with no
+        completion event to trigger acceptance.
+        """
+        at_time = self.machine.now if at_time is None else at_time
+        while self._queue and self.accepting(at_time):
+            self._accept(self._queue.popleft(), at_time)
+
     # ------------------------------------------------------------------
     # task submission
     # ------------------------------------------------------------------
@@ -90,12 +156,7 @@ class Engine:
         invoke's correlation ID, echoed on every task-lifecycle event.
         """
         task = _PendingTask(program, name, on_accept, on_complete, near_memory, cid)
-        if self.has_free_context:
-            if self.machine.events.active:
-                self.machine.events.emit(
-                    EngineTask(self.tile, name, True, cid, at_time, len(self._queue))
-                )
-            self._accept(task, at_time)
+        if self.offer(task, at_time):
             return True
         self.machine.stats.add("engine.nacks")
         self._queue.append(task)
@@ -104,6 +165,34 @@ class Engine:
                 EngineTask(self.tile, name, False, cid, at_time, len(self._queue))
             )
         return False
+
+    def make_task(self, program, name, on_accept=None, on_complete=None, near_memory=False, cid=None):
+        """Build a pending task for :meth:`offer` (bounded-retry mode)."""
+        return _PendingTask(program, name, on_accept, on_complete, near_memory, cid)
+
+    def offer(self, task, at_time):
+        """Accept ``task`` if possible at ``at_time``; never queues.
+
+        The retry path uses this directly: a rejected offer leaves the
+        task with the caller (the invoking core's retry loop), unlike
+        :meth:`submit` which parks rejected tasks in the spill queue.
+        """
+        if self.accepting(at_time):
+            if self.machine.events.active:
+                self.machine.events.emit(
+                    EngineTask(self.tile, task.name, True, task.cid, at_time, len(self._queue))
+                )
+            self._accept(task, at_time)
+            return True
+        return False
+
+    def nack(self, task, at_time):
+        """Account a NACK for a task the invoker will retry itself."""
+        self.machine.stats.add("engine.nacks")
+        if self.machine.events.active:
+            self.machine.events.emit(
+                EngineTask(self.tile, task.name, False, task.cid, at_time, len(self._queue))
+            )
 
     def _accept(self, task, at_time):
         self.busy_offload += 1
@@ -140,7 +229,7 @@ class Engine:
 
     def _release(self):
         self.busy_offload -= 1
-        if self._queue:
+        if self._queue and self.accepting(self.machine.now):
             task = self._queue.popleft()
             # The queued task starts when the context frees (now).
             self._accept(task, self.machine.now)
@@ -152,9 +241,10 @@ class Engine:
         return len(self._queue)
 
     def __repr__(self):
+        state = ", FAILED" if self.failed else ""
         return (
             f"Engine(tile{self.tile}, busy={self.busy_offload}/"
-            f"{self.offload_capacity}, queued={self.queued_tasks})"
+            f"{self.offload_capacity}, queued={self.queued_tasks}{state})"
         )
 
 

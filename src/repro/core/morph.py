@@ -154,9 +154,13 @@ class Morph:
 
         The engine's rTLB translates the physical line back to a
         virtual actor address first (a miss pays the refill penalty);
-        constructors then execute on the engine at ``tile``.
+        constructors then execute on the engine at ``tile``. When that
+        engine is marked failed (fault injection), the Sec. VI-C
+        fallback applies: the actions run *on the core* instead, at full
+        core instruction cost, with identical functional effects.
         """
-        rtlb_penalty = self._rtlb_translate(tile, line)
+        on_engine = self._engine_alive(tile)
+        rtlb_penalty = self._rtlb_translate(tile, line) if on_engine else 0
         first, last = self._objects_in_line(line)
         view = self.views[tile]
         if self.padded_size > self.machine.config.line_size:
@@ -165,23 +169,31 @@ class Morph:
             latency, _ = self.machine.run_inline(
                 self.construct(view, index),
                 tile,
+                is_engine=on_engine,
                 name=f"{self.name}.construct[{index}]",
             )
             return ConstructResult(rtlb_penalty + latency, self.object_lines(index))
-        # Small objects: every object in the line constructs in parallel.
+        # Small objects: every object in the line constructs in parallel
+        # on the engine (serially when degraded to the core).
         worst = 0.0
+        total = 0.0
         for index in range(first, last + 1):
             latency, _ = self.machine.run_inline(
                 self.construct(view, index),
                 tile,
+                is_engine=on_engine,
                 name=f"{self.name}.construct[{index}]",
             )
             worst = max(worst, latency)
-        return ConstructResult(rtlb_penalty + worst, [line])
+            total += latency
+        cost = worst if on_engine else total
+        return ConstructResult(rtlb_penalty + cost, [line])
 
     def handle_evict(self, tile, line, dirty):
         """Run destructors for the eviction of ``line``."""
-        self._rtlb_translate(tile, line)
+        on_engine = self._engine_alive(tile)
+        if on_engine:
+            self._rtlb_translate(tile, line)
         first, last = self._objects_in_line(line)
         view = self.views[tile]
         if self.padded_size > self.machine.config.line_size:
@@ -189,6 +201,7 @@ class Morph:
             self.machine.run_inline(
                 self.destruct(view, index, dirty),
                 tile,
+                is_engine=on_engine,
                 name=f"{self.name}.destruct[{index}]",
             )
             # Large objects evict as a unit: drop the sibling lines too.
@@ -198,9 +211,31 @@ class Morph:
             self.machine.run_inline(
                 self.destruct(view, index, dirty),
                 tile,
+                is_engine=on_engine,
                 name=f"{self.name}.destruct[{index}]",
             )
         return True
+
+    def _engine_alive(self, tile):
+        """False when the tile's engine is failed: actions degrade to the
+        core (Sec. VI-C), skipping the rTLB and paying core latencies."""
+        engines = self.machine.engines
+        if engines is None or not engines[tile].failed:
+            return True
+        self.machine.stats.add("faults.actions_on_core")
+        if self.machine.events.active:
+            from repro.sim.events import DegradedToFallback
+
+            self.machine.events.emit(
+                DegradedToFallback(
+                    "construct-on-core",
+                    tile=tile,
+                    fallback=tile,
+                    action=self.name,
+                    time=self.machine.sim_time(),
+                )
+            )
+        return False
 
     def _rtlb_translate(self, tile, line):
         """Account the engine's reverse translation of ``line``."""

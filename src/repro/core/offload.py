@@ -25,15 +25,27 @@ from dataclasses import dataclass, field
 from repro.core.engine import NACK_BYTES
 from repro.core.future import Future
 from repro.sim.events import (
+    DegradedToFallback,
     EngineTaskDone,
     EngineTaskStart,
     InvokeDispatched,
+    InvokeRetried,
     InvokeStalled,
 )
-from repro.sim.ops import Condition, Op, Park
+from repro.sim.ops import Condition, Op, Park, Sleep
 
 #: Base packet bytes for an invoke: actor pointer + function pointer + flags.
 INVOKE_HEADER_BYTES = 17
+
+
+class InvokeTimeout(RuntimeError):
+    """A NACKed invoke exhausted its bounded retries.
+
+    Only raised in bounded-retry mode (``core.invoke_max_retries`` set):
+    the engine NACKed the invoke on every re-send, so the task cannot be
+    placed and the simulation surfaces a typed error instead of queueing
+    forever.
+    """
 
 
 class Location(enum.Enum):
@@ -181,6 +193,31 @@ class Invoke(Op):
                 )
             return latency
 
+        if runtime.engines[target].failed:
+            # Sec. VI-C degradation: DYNAMIC placement reroutes to the
+            # nearest healthy engine; pinned/LOCAL/REMOTE invokes are
+            # tied to the dead tile and fall back to on-core execution.
+            machine.stats.add("invoke.degraded")
+            fallback = None
+            if self.tile is None and self.location is Location.DYNAMIC:
+                fallback = runtime.healthy_engine_near(target)
+            if fallback is None:
+                if machine.events.active:
+                    machine.events.emit(
+                        DegradedToFallback(
+                            "on-core", target, ctx.tile, self.action, cid, ctx.time
+                        )
+                    )
+                return self._run_on_core(machine, ctx, program, future, cid)
+            if machine.events.active:
+                machine.events.emit(
+                    DegradedToFallback(
+                        "reroute", target, fallback.tile, self.action, cid, ctx.time
+                    )
+                )
+            machine.stats.add("invoke.rerouted")
+            target = fallback.tile
+
         buffer = None
         slot = None
         stall = 0.0
@@ -220,20 +257,126 @@ class Invoke(Op):
             if _future is not None and value is not None:
                 _future.fill(value, from_tile=_engine.tile)
 
-        accepted = engine.submit(
+        max_retries = machine.config.core.invoke_max_retries
+        if max_retries is None:
+            # The paper's unbounded spill-and-retry: NACKed tasks wait in
+            # the engine's queue until a context frees.
+            accepted = engine.submit(
+                program,
+                arrival,
+                name=f"{self.action}@tile{target}",
+                on_accept=on_accept,
+                on_complete=on_complete,
+                near_memory=near_memory,
+                cid=cid,
+            )
+            if not accepted:
+                # Spill traffic: the NACK back to the core and the re-send.
+                machine.stats.add("invoke.retries")
+                machine.stats.add("invoke.spill_bytes", NACK_BYTES)
+                machine.hierarchy.noc.send(target, ctx.tile, NACK_BYTES)
+                machine.hierarchy.noc.send(ctx.tile, target, packet_bytes)
+            return stall + 1
+
+        # Bounded-retry mode: a NACKed task stays with the invoker, which
+        # re-sends after an exponential backoff and gives up with a typed
+        # InvokeTimeout after max_retries failed attempts.
+        task = engine.make_task(
             program,
-            arrival,
             name=f"{self.action}@tile{target}",
             on_accept=on_accept,
             on_complete=on_complete,
             near_memory=near_memory,
             cid=cid,
         )
-        if not accepted:
-            # Spill traffic: the NACK back to the core and the re-send.
+        if not engine.offer(task, arrival):
+            engine.nack(task, arrival)
+            machine.stats.add("invoke.spill_bytes", NACK_BYTES)
             machine.hierarchy.noc.send(target, ctx.tile, NACK_BYTES)
-            machine.hierarchy.noc.send(ctx.tile, target, packet_bytes)
+            machine.spawn(
+                self._retry_shuttle(machine, runtime, task, target, ctx.tile, packet_bytes),
+                tile=ctx.tile,
+                name=f"retry:{self.action}",
+                at_time=arrival,
+            )
         return stall + 1
+
+    def _retry_shuttle(self, machine, runtime, task, target, src, packet_bytes):
+        """Bounded NACK retry loop (runs as a core-side context).
+
+        Each attempt waits the backoff, re-sends the invoke packet, and
+        offers the task again; the backoff grows by
+        ``invoke_retry_backoff`` per failed attempt. A target that fails
+        mid-retry degrades like the initial dispatch (reroute for
+        DYNAMIC, on-core otherwise).
+        """
+        cfg = machine.config.core
+        noc = machine.hierarchy.noc
+        backoff = float(cfg.invoke_retry_delay)
+        for attempt in range(1, cfg.invoke_max_retries + 1):
+            yield Sleep(backoff)
+            engine = runtime.engines[target]
+            if engine.failed:
+                machine.stats.add("invoke.degraded")
+                fallback = None
+                if self.tile is None and self.location is Location.DYNAMIC:
+                    fallback = runtime.healthy_engine_near(target)
+                if fallback is None:
+                    if machine.events.active:
+                        machine.events.emit(
+                            DegradedToFallback(
+                                "on-core", target, src, self.action,
+                                task.cid, machine.sim_time(),
+                            )
+                        )
+                    runtime.run_task_on_core(task, src)
+                    return
+                if machine.events.active:
+                    machine.events.emit(
+                        DegradedToFallback(
+                            "reroute", target, fallback.tile, self.action,
+                            task.cid, machine.sim_time(),
+                        )
+                    )
+                machine.stats.add("invoke.rerouted")
+                target = fallback.tile
+                engine = fallback
+            machine.stats.add("invoke.retries")
+            resend = noc.send(src, target, packet_bytes)
+            if machine.events.active:
+                machine.events.emit(
+                    InvokeRetried(
+                        src, target, self.action, attempt, backoff,
+                        task.cid, machine.sim_time(),
+                    )
+                )
+            yield Sleep(1 + resend)
+            if engine.offer(task, machine.sim_time()):
+                return
+            engine.nack(task, machine.sim_time())
+            machine.stats.add("invoke.spill_bytes", NACK_BYTES)
+            noc.send(target, src, NACK_BYTES)
+            backoff *= cfg.invoke_retry_backoff
+        raise InvokeTimeout(
+            f"invoke {self.action!r} to tile {target} NACKed past "
+            f"{cfg.invoke_max_retries} retries (task contexts exhausted); "
+            f"last backoff {backoff:.0f} cycles"
+        )
+
+    def _run_on_core(self, machine, ctx, program, future, cid):
+        """Sec. VI-C on-core fallback for an invoke whose engine failed."""
+        machine.stats.add("invoke.on_core_fallbacks")
+        name = f"{self.action}@core-fallback"
+        if machine.events.active:
+            machine.events.emit(EngineTaskStart(ctx.tile, name, cid, ctx.time))
+        latency, value = machine.run_inline(
+            program, ctx.tile, is_engine=False, name=name
+        )
+        if future is not None and value is not None:
+            future.fill(value, from_tile=ctx.tile)
+        if machine.events.active:
+            machine.events.emit(EngineTaskDone(ctx.tile, name, cid, ctx.time + latency))
+        return latency
 
     # ------------------------------------------------------------------
     def _place(self, machine, runtime, ctx):

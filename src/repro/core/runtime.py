@@ -14,9 +14,10 @@ the baseline.
 """
 
 from repro.core.allocator import Allocator
-from repro.core.engine import Engine
+from repro.core.engine import NACK_BYTES, Engine
 from repro.core.mapping import MappingRegistry
 from repro.core.offload import InvokeBuffer
+from repro.sim.events import DegradedToFallback, EngineTaskDone, EngineTaskStart
 from repro.sim.hierarchy import HierarchyHooks
 
 
@@ -162,6 +163,87 @@ class Leviathan:
     @property
     def morphs(self):
         return [record[3] for record in self._morphs]
+
+    # ------------------------------------------------------------------
+    # resilience (Sec. VI-C degradation, driven by repro.sim.faults)
+    # ------------------------------------------------------------------
+    def healthy_engine_near(self, tile):
+        """The healthy engine closest to ``tile`` (XY hops, tile id ties).
+
+        Returns None when every engine is failed. Deterministic: the
+        same fault state always yields the same reroute target.
+        """
+        noc = self.machine.hierarchy.noc
+        best = None
+        best_key = None
+        for engine in self.engines:
+            if engine.failed:
+                continue
+            key = (noc.hops(tile, engine.tile), engine.tile)
+            if best is None or key < best_key:
+                best, best_key = engine, key
+        return best
+
+    def reroute_task(self, failed_engine, task, at_time):
+        """Move a not-yet-started task off a failed engine.
+
+        Spill-queued tasks bounce to the nearest healthy engine (paying
+        the NACK-back plus re-send NoC traffic); with no healthy engine
+        left they run on the failed tile's core instead.
+        """
+        machine = self.machine
+        machine.stats.add("faults.rerouted_tasks")
+        target = self.healthy_engine_near(failed_engine.tile)
+        if target is None:
+            if machine.events.active:
+                machine.events.emit(
+                    DegradedToFallback(
+                        "on-core", failed_engine.tile, failed_engine.tile,
+                        task.name, task.cid, at_time,
+                    )
+                )
+            self.run_task_on_core(task, failed_engine.tile, at_time=at_time)
+            return
+        if machine.events.active:
+            machine.events.emit(
+                DegradedToFallback(
+                    "reroute", failed_engine.tile, target.tile,
+                    task.name, task.cid, at_time,
+                )
+            )
+        machine.hierarchy.noc.send(failed_engine.tile, target.tile, NACK_BYTES)
+        if not target.offer(task, at_time):
+            target._queue.append(task)
+
+    def run_task_on_core(self, task, tile, at_time=None):
+        """Execute a pending engine task on ``tile``'s core (Sec. VI-C).
+
+        The last-resort degradation: the task's program runs as an
+        ordinary core thread, with completion callbacks (buffer release,
+        future fill) preserved so invokes stay functionally identical.
+        """
+        machine = self.machine
+        machine.stats.add("faults.on_core_tasks")
+        at_time = machine.now if at_time is None else at_time
+        if task.on_accept is not None:
+            task.on_accept(at_time)
+        name = f"{task.name}@core-fallback"
+
+        def wrapper():
+            if machine.events.active:
+                machine.events.emit(
+                    EngineTaskStart(tile, name, task.cid, machine.sim_time())
+                )
+            result = yield from task.program
+            if machine.events.active:
+                machine.events.emit(
+                    EngineTaskDone(tile, name, task.cid, machine.sim_time())
+                )
+            if task.on_complete is not None:
+                task.on_complete(result)
+            return result
+
+        return machine.spawn(wrapper(), tile=tile, name=name, at_time=at_time)
 
     # ------------------------------------------------------------------
     # convenience

@@ -18,8 +18,9 @@ Python the idiomatic equivalent is ``value = yield from stream.consume()``,
 which returns :data:`STREAM_END` when the producer finishes.
 """
 
+from repro.core.fallback import ThreadPairStream
 from repro.core.morph import Morph
-from repro.sim.events import StreamBlocked, StreamPop, StreamPush
+from repro.sim.events import DegradedToFallback, StreamBlocked, StreamPop, StreamPush
 from repro.sim.ops import Compute, Condition, Load, Store, Wait
 
 #: Returned by ``consume`` when the producer has terminated and the
@@ -101,6 +102,10 @@ class Stream(Morph):
         self.space_avail = Condition(f"{self.name}.space")
         self.data_avail = Condition(f"{self.name}.data")
         self._producer_ctx = None
+        #: Set when the producer engine is failed at :meth:`start`: the
+        #: stream collapses to the Sec. VI-C message-queue fallback and
+        #: push/consume delegate to it (no engine, no phantom space).
+        self._fallback = None
 
     # ------------------------------------------------------------------
     # producer side
@@ -111,9 +116,20 @@ class Stream(Morph):
         yield  # pragma: no cover
 
     def start(self):
-        """Spawn the producer as a long-lived thread on its tile's engine."""
+        """Spawn the producer as a long-lived thread on its tile's engine.
+
+        When the producer engine is marked failed (fault injection), the
+        stream degrades to the Sec. VI-C message-queue fallback: both
+        endpoints become conventional core threads passing entries
+        through a :class:`~repro.core.fallback.ThreadPairStream`, the
+        phantom range is unregistered, and push/consume delegate to the
+        queue -- functionally identical, without the near-data benefit.
+        """
         if self._producer_ctx is not None:
             raise RuntimeError("stream already started")
+        engines = self.machine.engines
+        if engines is not None and engines[self.producer_tile].failed:
+            return self._start_degraded()
         self.machine.stats.add("stream.started")
         self._producer_ctx = self.machine.spawn(
             self._producer_program(),
@@ -131,6 +147,45 @@ class Stream(Morph):
         self.producer_done = True
         self.machine.wake_all(self.data_avail)
 
+    def _start_degraded(self):
+        machine = self.machine
+        machine.stats.add("stream.degraded")
+        self._fallback = ThreadPairStream(
+            self.runtime,
+            self.object_size,
+            self.buffer_entries,
+            self.producer_tile,
+            self.consumer_tile,
+        )
+        if machine.events.active:
+            machine.events.emit(
+                DegradedToFallback(
+                    "stream-queue",
+                    tile=self.producer_tile,
+                    fallback=self.consumer_tile,
+                    action=self.name,
+                    time=machine.sim_time(),
+                )
+            )
+        # Phantom space is engine machinery; the fallback uses plain
+        # loads and stores, so the data-triggered range goes away.
+        self.unregister()
+        self._producer_ctx = machine.spawn(
+            self._degraded_producer(),
+            tile=self.producer_tile,
+            name=f"{self.name}.producer-fallback",
+        )
+        return self._producer_ctx
+
+    def _degraded_producer(self):
+        try:
+            yield from self.gen_stream(self.runtime)
+        except StreamTerminated:
+            self.machine.stats.add("stream.terminated_early")
+        self.producer_done = True
+        self._fallback.close()
+        self.machine.wake_all(self.data_avail)
+
     def buffer_slot_addr(self, index):
         return self.buffer_base + (index % self.buffer_entries) * self.padded_size
 
@@ -142,6 +197,9 @@ class Stream(Morph):
         later copy); the timing cost here is the store into the circular
         buffer plus bookkeeping.
         """
+        if self._fallback is not None:
+            yield from self._push_degraded(obj)
+            return
         while self.tail - self.head_engine >= self.buffer_entries:
             if self.terminated:
                 raise StreamTerminated()
@@ -182,6 +240,8 @@ class Stream(Morph):
         triggers the stream's data-triggered constructor on a line
         crossing (and the L2 prefetcher ahead of it).
         """
+        if self._fallback is not None:
+            return (yield from self._consume_degraded())
         while self.head >= self.tail:
             if self.producer_done:
                 return STREAM_END
@@ -246,6 +306,33 @@ class Stream(Morph):
         raises :class:`StreamTerminated` and the producer thread exits."""
         self.terminated = True
         self.machine.wake_all(self.space_avail)
+        if self._fallback is not None:
+            self.machine.wake_all(self._fallback.space_avail)
+
+    # ------------------------------------------------------------------
+    # degraded mode (Sec. VI-C message-queue fallback)
+    # ------------------------------------------------------------------
+    def _push_degraded(self, obj):
+        fb = self._fallback
+        while fb.tail - fb.head >= fb.buffer_entries:
+            if self.terminated:
+                raise StreamTerminated()
+            self.machine.stats.add("stream.push_blocks")
+            yield Wait(fb.space_avail)
+        if self.terminated:
+            raise StreamTerminated()
+        yield from fb.push(obj)
+        self.tail += 1
+        self.machine.stats.add("stream.pushes")
+
+    def _consume_degraded(self):
+        value = yield from self._fallback.pop()
+        if value is ThreadPairStream.END:
+            return STREAM_END
+        self.head += 1
+        self.head_engine = self.head
+        self.machine.stats.add("stream.pops")
+        return value
 
     # ------------------------------------------------------------------
     # data-triggered underpinnings

@@ -5,12 +5,18 @@
 ``--telemetry-out DIR`` additionally captures telemetry (Perfetto
 trace + metrics snapshot) for every machine each experiment builds;
 ``leviathan-repro telemetry DIR`` summarizes a captured directory.
+``--faults SPEC`` arms a :class:`~repro.sim.faults.FaultPlan` on every
+machine (chaos runs); a workload that raises makes the run exit
+nonzero, with the exception and fault report written into the
+telemetry directory when one is given.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
+import traceback
 
 from repro.experiments import registry
 from repro.experiments import ablations, figures, sensitivity, tables
@@ -79,6 +85,13 @@ def main(argv=None):
         help="capture telemetry (Perfetto trace + metrics) per experiment "
         "machine under DIR/<experiment>/machine-NN/",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm a fault plan on every machine, e.g. "
+        "'crash:1@2000; noc-delay:0.01@20; seed:7' "
+        "(see repro.sim.faults for the grammar)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -98,24 +111,79 @@ def main(argv=None):
 
     from repro.experiments.plotting import speedup_chart
 
+    fault_session = None
+    if args.faults:
+        from repro.sim.faults import FaultSession
+
+        fault_session = FaultSession(args.faults)
+
     names = registry.names() if args.experiment == "all" else [args.experiment]
     failed = []
+    crashed = []
     markdown_sections = []
     for name in names:
         started = time.time()
+        telemetry_session = None
         if args.telemetry_out:
             from repro.sim.telemetry import TelemetrySession
 
-            with TelemetrySession() as session:
-                experiment = registry.run(name)
-            outdir = os.path.join(args.telemetry_out, name)
-            session.save(outdir)
-            print(
-                f"telemetry: {len(session.telemetries)} machine(s) -> {outdir}"
-            )
-        else:
+            telemetry_session = TelemetrySession()
+        error = None
+        error_text = None
+        if fault_session is not None:
+            fault_session.reset().install()
+        if telemetry_session is not None:
+            telemetry_session.install()
+        try:
             experiment = registry.run(name)
+        except KeyError:
+            # Unknown experiment name: a usage error, not a workload
+            # crash -- propagate as before.
+            raise
+        except Exception as exc:  # workload crashed (chaos runs do this)
+            error = exc
+            error_text = traceback.format_exc()
+        finally:
+            if telemetry_session is not None:
+                telemetry_session.uninstall()
+            if fault_session is not None:
+                fault_session.uninstall()
         elapsed = time.time() - started
+
+        outdir = None
+        if args.telemetry_out:
+            outdir = os.path.join(args.telemetry_out, name)
+            telemetry_session.save(outdir)
+            print(
+                f"telemetry: {len(telemetry_session.telemetries)} machine(s) -> {outdir}"
+            )
+        if fault_session is not None:
+            print(
+                f"faults: {fault_session.total_injected} injected over "
+                f"{len(fault_session.controllers)} machine(s)"
+            )
+            if outdir is not None:
+                fault_session.save(outdir)
+
+        if error is not None:
+            crashed.append(name)
+            print(f"ERROR: {name} raised {type(error).__name__}: {error}", file=sys.stderr)
+            print(error_text, file=sys.stderr)
+            if outdir is not None:
+                with open(os.path.join(outdir, "error.json"), "w") as handle:
+                    json.dump(
+                        {
+                            "experiment": name,
+                            "error": type(error).__name__,
+                            "message": str(error),
+                            "traceback": error_text,
+                        },
+                        handle,
+                        indent=2,
+                    )
+                    handle.write("\n")
+            continue
+
         print(experiment.report())
         if any("speedup" in row for row in experiment.rows):
             print()
@@ -130,6 +198,9 @@ def main(argv=None):
             handle.write("# Reproduced tables and figures\n\n")
             handle.write("\n".join(markdown_sections))
         print(f"wrote {args.markdown}")
+    if crashed:
+        print(f"CRASHED: {', '.join(crashed)}", file=sys.stderr)
+        return 1
     if failed:
         print(f"FAILED shape checks: {', '.join(failed)}", file=sys.stderr)
         return 1

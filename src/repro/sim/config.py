@@ -34,6 +34,14 @@ class CoreConfig:
     invoke_buffer_entries: int = 4
     #: Cycles to retry an invoke after an engine NACK (spill-and-retry).
     invoke_retry_delay: int = 20
+    #: Bounded NACK retry: maximum re-sends of one invoke before the
+    #: simulation raises :class:`~repro.core.offload.InvokeTimeout`.
+    #: ``None`` keeps the paper's unbounded behavior (NACKed tasks wait
+    #: in the engine's spill queue until a context frees).
+    invoke_max_retries: int = None
+    #: Exponential-backoff multiplier applied to ``invoke_retry_delay``
+    #: after each failed retry (bounded-retry mode only).
+    invoke_retry_backoff: float = 2.0
 
 
 @dataclass
@@ -212,6 +220,11 @@ class SystemConfig:
     l2_prefetcher: bool = True
     #: Random seed for any stochastic machinery (kept deterministic).
     seed: int = 42
+    #: Scheduler watchdog: after this many consecutive operations execute
+    #: without simulated time advancing, ``machine.run()`` raises
+    #: :class:`~repro.sim.scheduler.DeadlockError` with a diagnostic dump
+    #: instead of spinning forever. 0 disables the watchdog.
+    watchdog_steps: int = 250_000
 
     def __post_init__(self):
         if not _is_power_of_two(self.n_tiles):

@@ -60,6 +60,9 @@ class MemoryController:
         self.fifo = FifoCache(self.config.fifo_lines)
         self.line_bytes = line_bytes
         self._busy_until = 0.0
+        #: Fault hook (:mod:`repro.sim.faults`): set by a controller with
+        #: DRAM-error rules; ``None`` (default) adds no per-access work.
+        self.faults = None
 
     def _queue_for_service(self, now):
         """Occupy the controller; returns the queueing + service delay."""
@@ -82,7 +85,10 @@ class MemoryController:
                 self.stats.add("dram.writes")
                 if self.bus.active:
                     self.bus.emit(DramAccess(self.index, dram_line, True, True, True))
-                return self._queue_for_service(now) + self.config.latency
+                latency = self._queue_for_service(now) + self.config.latency
+                if self.faults is not None:
+                    latency += self.faults.on_dram_access(self.index, dram_line, True)
+                return latency
             if self.bus.active:
                 self.bus.emit(DramAccess(self.index, dram_line, False, True, False))
             return self.FIFO_HIT_LATENCY
@@ -92,7 +98,10 @@ class MemoryController:
             self.bus.emit(DramAccess(self.index, dram_line, is_write, False, True))
         if not is_write:
             self.fifo.insert(dram_line)
-        return self._queue_for_service(now) + self.config.latency
+        latency = self._queue_for_service(now) + self.config.latency
+        if self.faults is not None:
+            latency += self.faults.on_dram_access(self.index, dram_line, is_write)
+        return latency
 
 
 class MemorySystem:

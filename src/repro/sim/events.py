@@ -362,3 +362,81 @@ class StreamBlocked:
     stream: str
     side: str
     time: float = None
+
+
+@dataclass
+class FaultInjected:
+    """The fault layer (:mod:`repro.sim.faults`) injected one fault.
+
+    ``kind`` names the rule that fired (``engine-crash``,
+    ``engine-stall``, ``ctx-exhaust``, ``noc-delay``, ``noc-drop``,
+    ``dram-err``); ``where`` is the tile or memory controller hit.
+    ``extra_cycles`` is the latency added on the victim's critical path
+    (0 for pure state faults such as a crash).
+    """
+
+    kind: str
+    where: int = None
+    time: float = None
+    extra_cycles: float = 0.0
+
+
+@dataclass
+class EngineFailed:
+    """An engine was marked failed (fail-stop: in-flight tasks finish,
+    no new work is accepted; spill-queued tasks are rerouted)."""
+
+    tile: int
+    time: float = None
+
+
+@dataclass
+class WatchdogFired:
+    """The scheduler watchdog detected a no-progress cycle.
+
+    Emitted just before :class:`~repro.sim.scheduler.DeadlockError` is
+    raised: ``steps`` consecutive operations executed without simulated
+    time advancing, with ``parked`` contexts blocked on conditions.
+    """
+
+    steps: int
+    time: float = None
+    parked: int = 0
+
+
+@dataclass
+class InvokeRetried:
+    """A NACKed invoke was re-sent after its backoff (bounded-retry mode).
+
+    ``attempt`` counts from 1 up to ``core.invoke_max_retries``;
+    ``backoff`` is the wait that preceded this re-send. ``tile`` is the
+    invoking core, ``target`` the engine being retried.
+    """
+
+    tile: int
+    target: int
+    action: str
+    attempt: int
+    backoff: float
+    cid: int = None
+    time: float = None
+
+
+@dataclass
+class DegradedToFallback:
+    """Work fell back to a Sec. VI-C degradation path.
+
+    ``kind`` is the path taken: ``reroute`` (DYNAMIC invoke moved to a
+    healthy engine), ``on-core`` (pinned/LOCAL/REMOTE invoke executed on
+    the invoking core), ``construct-on-core`` (data-triggered action run
+    on the core), or ``stream-queue`` (stream collapsed to the
+    message-passing thread-pair fallback). ``tile`` is the failed
+    engine's tile and ``fallback`` where the work went instead.
+    """
+
+    kind: str
+    tile: int = None
+    fallback: int = None
+    action: str = None
+    cid: int = None
+    time: float = None

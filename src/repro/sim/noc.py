@@ -20,6 +20,10 @@ class MeshNoc:
         self.height = (self.n_tiles + self.width - 1) // self.width
         self.stats = stats
         self.bus = bus if bus is not None else EventBus()
+        #: Fault hook (:mod:`repro.sim.faults`): when a controller with
+        #: NoC rules attaches it sets itself here; ``None`` (default)
+        #: keeps the send path free of any fault check beyond this load.
+        self.faults = None
 
     def coords(self, tile):
         """(x, y) position of ``tile`` on the mesh."""
@@ -46,7 +50,10 @@ class MeshNoc:
         self.stats.add("noc.flit_hops", flits * hops)
         if self.bus.active:
             self.bus.emit(FlitHop(src, dst, payload_bytes, flits, hops))
-        return self.config.message_latency(hops, payload_bytes)
+        latency = self.config.message_latency(hops, payload_bytes)
+        if self.faults is not None:
+            latency += self.faults.on_noc_message(src, dst, payload_bytes)
+        return latency
 
     def round_trip(self, src, dst, request_bytes, response_bytes):
         """Request/response pair; returns combined latency."""

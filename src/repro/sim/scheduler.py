@@ -13,12 +13,31 @@ randomness exists outside explicitly seeded workload generators.
 
 import heapq
 
+from repro.sim.events import WatchdogFired
 from repro.sim.ops import Op, Park
 from repro.sim.thread import Context
 
 
 class SimDeadlock(RuntimeError):
     """No context is runnable but some are still parked."""
+
+
+class DeadlockError(SimDeadlock):
+    """The simulation cannot make progress.
+
+    Raised in two situations, both with a diagnostic dump of every
+    parked context, its awaited condition, and the in-flight work
+    visible to the runtime:
+
+    - the heap drained while contexts were still parked (a condition
+      that is never signaled -- the classic lost-wakeup deadlock);
+    - the watchdog counted ``watchdog_steps`` consecutive operations
+      without simulated time advancing (a livelock: zero-latency spin,
+      or park/wake ping-pong at a frozen timestamp), which previously
+      hung ``machine.run()`` forever.
+
+    Subclasses :class:`SimDeadlock` so existing handlers keep working.
+    """
 
 
 class _Resume:
@@ -40,6 +59,12 @@ class Scheduler:
         self._parked = set()
         self.now = 0.0
         self.current = None
+        #: Watchdog threshold (0 disables): consecutive zero-latency
+        #: operations tolerated before declaring a no-progress cycle.
+        #: Counted inside ``_step`` because a single spinning context
+        #: with an empty heap never returns to the outer loop.
+        self.watchdog_steps = getattr(machine.config, "watchdog_steps", 0) or 0
+        self._no_progress_ops = 0
 
     # ------------------------------------------------------------------
     # spawning and queueing
@@ -92,24 +117,35 @@ class Scheduler:
     # the main loop
     # ------------------------------------------------------------------
     def run(self):
-        """Run until every context has finished; returns the final time."""
+        """Run until every context has finished; returns the final time.
+
+        Raises :class:`DeadlockError` when no progress is possible:
+        either every runnable context drained while some were parked,
+        or the watchdog saw ``watchdog_steps`` consecutive operations
+        without simulated time advancing.
+        """
         heap = self._heap
         while heap:
             time, _seq, ctx, resume = heapq.heappop(heap)
             if ctx.done:
                 continue
-            self.now = max(self.now, time)
+            if time > self.now:
+                self.now = time
+                # Simulated time advanced: the machine is making progress.
+                self._no_progress_ops = 0
             self.current = ctx
             self._step(ctx, resume)
         self.current = None
         if self._parked:
-            raise SimDeadlock(
+            raise DeadlockError(
                 "simulation deadlock; parked contexts: "
                 + ", ".join(
                     f"{c.name} on {c.parked_on}" for c in sorted(
                         self._parked, key=lambda c: c.ctid
                     )
                 )
+                + "\n"
+                + self.machine.describe_stall()
             )
         return self.now
 
@@ -140,7 +176,13 @@ class Scheduler:
                 latency = op.execute(machine, ctx)
             except Park as park:
                 self.park(ctx, park.condition, retry_op=op if park.retry else None)
+                if self.watchdog_steps:
+                    self._note_no_progress()
                 return
+            if latency:
+                self._no_progress_ops = 0
+            elif self.watchdog_steps:
+                self._note_no_progress()
             ctx.time += latency
             send_value = getattr(op, "result", None)
             op = None
@@ -149,6 +191,33 @@ class Scheduler:
                 self._push(ctx, _Resume(send_value=send_value))
                 return
             self.now = max(self.now, ctx.time)
+
+    # ------------------------------------------------------------------
+    # the watchdog
+    # ------------------------------------------------------------------
+    def _note_no_progress(self):
+        """Count one operation that did not advance simulated time.
+
+        Parks and zero-latency executions both count; any nonzero
+        latency (or the global clock advancing between steps) resets the
+        counter, so only a genuine frozen-clock cycle accumulates.
+        """
+        self._no_progress_ops += 1
+        if self._no_progress_ops >= self.watchdog_steps:
+            self._watchdog_fire()
+
+    def _watchdog_fire(self):
+        machine = self.machine
+        steps = self._no_progress_ops
+        self._no_progress_ops = 0
+        machine.stats.add("watchdog.fired")
+        if machine.events.active:
+            machine.events.emit(WatchdogFired(steps, self.now, len(self._parked)))
+        raise DeadlockError(
+            f"watchdog: no progress after {steps} operations at a frozen "
+            f"t={self.now:.0f} (livelock or missed wake)\n"
+            + machine.describe_stall(steps)
+        )
 
     @property
     def parked_contexts(self):

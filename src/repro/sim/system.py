@@ -13,6 +13,7 @@ engines and installs its hierarchy hooks.
 from repro.sim.address import AddressSpace
 from repro.sim.energy import EnergyModel
 from repro.sim.events import EventBus
+from repro.sim.faults import notify_machine_created as notify_fault_session
 from repro.sim.hierarchy import Hierarchy
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -51,9 +52,14 @@ class Machine:
         #: machine pays nothing; they never influence timing, keeping
         #: runs bit-identical with and without observers.
         self._cid = 0
+        #: The attached :class:`~repro.sim.faults.FaultController`, or
+        #: None (the default: no fault injection, zero overhead -- emit
+        #: sites guard on ``faults is None`` like ``events.active``).
+        self.faults = None
         # Last: hand the fully-built machine to any installed telemetry
-        # session (a module-global check; no-op when none is active).
+        # or fault session (module-global checks; no-ops when inactive).
         notify_machine_created(self)
+        notify_fault_session(self)
 
     # ------------------------------------------------------------------
     # execution
@@ -131,6 +137,65 @@ class Machine:
 
     def wake_one(self, condition, value=None, at_time=None):
         return self.scheduler.wake_one(condition, value=value, at_time=at_time)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def describe_stall(self, steps=None):
+        """A human-readable dump of why the machine cannot progress.
+
+        Used by :class:`~repro.sim.scheduler.DeadlockError`: lists every
+        parked context with its awaited condition, runnable contexts,
+        engine and invoke-buffer state, and (when a fault controller is
+        attached) the open invoke spans -- the in-flight work at the
+        moment the watchdog fired.
+        """
+        sched = self.scheduler
+        header = f"at t={sched.now:.0f}"
+        if steps is not None:
+            header += f" after {steps} operations without progress"
+        lines = [header]
+
+        parked = sched.parked_contexts
+        lines.append(f"parked contexts ({len(parked)}):")
+        for ctx in parked[:32]:
+            lines.append(f"  - {ctx.name} [tile {ctx.tile}] waiting on {ctx.parked_on}")
+        if len(parked) > 32:
+            lines.append(f"  ... and {len(parked) - 32} more")
+
+        runnable = {}
+        for time, _seq, ctx, _resume in sched._heap:
+            if not ctx.done and ctx not in runnable:
+                runnable[ctx] = time
+        if sched.current is not None and not sched.current.done:
+            lines.append(f"running: {sched.current.name} [tile {sched.current.tile}]")
+        lines.append(f"runnable contexts ({len(runnable)}):")
+        for ctx, time in sorted(runnable.items(), key=lambda item: item[0].ctid)[:16]:
+            lines.append(f"  - {ctx.name} [tile {ctx.tile}] at t={time:.0f}")
+
+        if self.leviathan is not None:
+            busy = [
+                repr(engine)
+                for engine in self.leviathan.engines
+                if engine.busy_offload or engine.queued_tasks or engine.failed
+            ]
+            if busy:
+                lines.append("engines: " + ", ".join(busy))
+            occupied = [
+                f"tile{buffer.tile}={buffer.in_flight}"
+                for buffer in self.leviathan.invoke_buffers
+                if buffer.in_flight
+            ]
+            if occupied:
+                lines.append("invoke buffers in flight: " + ", ".join(occupied))
+
+        spans = getattr(self.faults, "spans", None)
+        if spans is not None and spans.open_spans:
+            open_spans = spans.open_spans
+            lines.append(f"in-flight invokes ({len(open_spans)}):")
+            for span in open_spans[:16]:
+                lines.append(f"  - {span!r}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # results

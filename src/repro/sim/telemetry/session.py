@@ -27,18 +27,23 @@ import os
 
 from repro.sim.events import (
     CacheAccess,
+    DegradedToFallback,
     DramAccess,
+    EngineFailed,
     EngineTask,
     EngineTaskDone,
     EngineTaskStart,
+    FaultInjected,
     FlitHop,
     FutureFilled,
     InvokeDispatched,
+    InvokeRetried,
     InvokeStalled,
     MemoryAccess,
     StreamBlocked,
     StreamPop,
     StreamPush,
+    WatchdogFired,
 )
 from repro.sim.telemetry.metrics import MetricsRegistry
 from repro.sim.telemetry.perfetto import chrome_trace, write_chrome_trace
@@ -69,6 +74,11 @@ class Telemetry:
             (FlitHop, self._on_flit_hop),
             (DramAccess, self._on_dram_access),
             (MemoryAccess, self._on_memory_access),
+            (FaultInjected, self._on_fault_injected),
+            (EngineFailed, self._on_engine_failed),
+            (InvokeRetried, self._on_invoke_retried),
+            (DegradedToFallback, self._on_degraded),
+            (WatchdogFired, self._on_watchdog_fired),
         )
         self.attach()
 
@@ -169,6 +179,36 @@ class Telemetry:
             self.metrics.histogram(
                 "stream.block_cycles", labels={"side": span.args.get("side", "?")}
             ).observe(span.duration)
+
+    # ------------------------------------------------------------------
+    # handlers: resilience (fault injection, retries, degradation)
+    # ------------------------------------------------------------------
+    def _on_fault_injected(self, ev):
+        self.metrics.counter("faults.injected", labels={"kind": ev.kind}).inc()
+        if ev.extra_cycles:
+            self.metrics.histogram(
+                "faults.extra_cycles",
+                labels={"kind": ev.kind},
+                help="latency added on the victim path per injection",
+            ).observe(ev.extra_cycles)
+
+    def _on_engine_failed(self, ev):
+        self.metrics.counter("faults.engine_failures").inc()
+
+    def _on_invoke_retried(self, ev):
+        self.metrics.counter("invoke.retries_observed").inc()
+        self.metrics.histogram(
+            "invoke.retry_backoff", help="backoff cycles before each re-send"
+        ).observe(ev.backoff)
+        self.spans.invoke_retried(ev)
+
+    def _on_degraded(self, ev):
+        self.metrics.counter("faults.degraded", labels={"kind": ev.kind}).inc()
+        self.spans.degraded(ev)
+
+    def _on_watchdog_fired(self, ev):
+        self.metrics.counter("watchdog.fired").inc()
+        self.metrics.gauge("watchdog.parked_at_fire").set(ev.parked)
 
     # ------------------------------------------------------------------
     # handlers: streaming

@@ -191,6 +191,11 @@ class SpanTracker:
             return
         if not ev.accepted:
             span.args["nacks"] += 1
+            # Bounded-retry mode NACKs the same invoke repeatedly; keep
+            # one open nack-wait phase covering the whole retry episode.
+            for phase in span.phases:
+                if phase[0] == "nack-wait" and phase[2] is None:
+                    return
             span.open_phase("nack-wait", ev.time)
 
     def engine_start(self, ev):
@@ -238,6 +243,30 @@ class SpanTracker:
             span.open_phase("future-wait", done_at)
             span.close_phase("future-wait", ev.time)
         self._close(span, max(done_at, ev.time))
+
+    # ------------------------------------------------------------------
+    # resilience lifecycle (bounded retry + Sec. VI-C degradation)
+    # ------------------------------------------------------------------
+    def invoke_retried(self, ev):
+        """Annotate the invoke's span with its retry history."""
+        if ev.cid is None:
+            return
+        span = self._open.get(ev.cid)
+        if span is None:
+            return
+        span.args["retries"] = ev.attempt
+        span.args["last_backoff"] = ev.backoff
+
+    def degraded(self, ev):
+        """Mark the invoke's span with the degradation path it took."""
+        if ev.cid is None:
+            return
+        span = self._open.get(ev.cid)
+        if span is None:
+            return
+        span.args["degraded"] = ev.kind
+        if ev.fallback is not None:
+            span.args["fallback"] = ev.fallback
 
     # ------------------------------------------------------------------
     # stream lifecycle

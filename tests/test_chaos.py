@@ -1,0 +1,243 @@
+"""Chaos harness: seeded random fault schedules over mini-workloads.
+
+For each seed, a random :class:`~repro.sim.faults.FaultPlan` of
+*survivable* rules (timing faults, stall/exhaustion windows, a bounded
+number of engine crashes) is generated and armed over one mini-workload
+per paradigm (offload, data-triggered, streaming). The invariants:
+
+- **results are bit-identical** to the fault-free run -- survivable
+  faults change timing and routing, never functional outcomes;
+- **the run still terminates** (degradation paths keep work flowing);
+- **replays are deterministic**: the same plan over the same workload
+  produces identical stats.
+
+Unsurvivable plans must fail *loudly* with typed errors
+(:class:`InvokeTimeout`, :class:`DeadlockError`), never hang or
+silently corrupt.
+"""
+
+import random
+
+import pytest
+
+from repro.core.actor import Actor, action
+from repro.core.morph import Morph
+from repro.core.offload import Invoke, InvokeTimeout, Location
+from repro.core.runtime import Leviathan
+from repro.core.stream import STREAM_END, Stream
+from repro.sim.config import small_config
+from repro.sim.faults import (
+    ContextExhaustion,
+    DramError,
+    EngineCrash,
+    EngineStall,
+    FaultPlan,
+    NocDelay,
+    NocDrop,
+)
+from repro.sim.ops import Compute, Load, Store
+from repro.sim.system import Machine
+
+SEEDS = [7, 23, 101]
+
+
+def random_survivable_plan(seed):
+    """A random plan whose faults every workload must survive."""
+    rng = random.Random(seed)
+    rules = []
+    # At most one crash, never tile 0 (keeps a healthy engine near the
+    # stream producer and varies the reroute topology per seed).
+    if rng.random() < 0.7:
+        rules.append(EngineCrash(rng.randrange(1, 4), rng.uniform(0, 500)))
+    for _ in range(rng.randrange(0, 3)):
+        tile = rng.randrange(0, 4)
+        start = rng.uniform(0, 400)
+        rules.append(
+            EngineStall(tile, start, rng.uniform(50, 300))
+            if rng.random() < 0.5
+            else ContextExhaustion(tile, start, rng.uniform(50, 300))
+        )
+    if rng.random() < 0.8:
+        rules.append(NocDelay(rng.uniform(0.01, 0.3), rng.uniform(5, 50)))
+    if rng.random() < 0.5:
+        rules.append(NocDrop(rng.uniform(0.005, 0.05), rng.uniform(64, 512)))
+    if rng.random() < 0.8:
+        rules.append(
+            DramError(0, 1 << 30, rng.uniform(0.01, 0.2), rng.uniform(50, 400))
+        )
+    return FaultPlan(rules, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# mini-workloads (one per paradigm)
+# ----------------------------------------------------------------------
+class Counter(Actor):
+    SIZE = 8
+
+    @action
+    def bump(self, env, amount):
+        yield Load(self.addr, 8)
+        yield Compute(2)
+        mem = env.machine.mem
+        yield Store(
+            self.addr,
+            8,
+            apply=lambda: mem.__setitem__(self.addr, mem.get(self.addr, 0) + amount),
+        )
+
+
+def offload_workload(machine, runtime):
+    """Invoke storms across every location kind; result: counter values."""
+    alloc = runtime.allocator_for(Counter, capacity=8)
+    actors = [alloc.allocate() for _ in range(8)]
+    locations = [Location.LOCAL, Location.REMOTE, Location.DYNAMIC]
+
+    def invoker(tile):
+        for i in range(10):
+            actor = actors[(tile * 3 + i) % 8]
+            yield Invoke(actor, "bump", (tile + 1,), location=locations[i % 3])
+            yield Compute(2)
+
+    for tile in range(4):
+        machine.spawn(invoker(tile), tile=tile)
+    machine.run()
+    return tuple(machine.mem.get(a.addr, 0) for a in actors)
+
+
+class InitMorph(Morph):
+    """Constructors initialize actors to index * 3 on first touch."""
+
+    def construct(self, view, index):
+        yield Compute(1)
+        self.machine.mem[self.get_actor_addr(index)] = index * 3
+
+
+def morph_workload(machine, runtime):
+    """Data-triggered constructions; result: values read through loads."""
+    morph = InitMorph(runtime, "l2", 64, 8)
+    seen = []
+
+    def toucher(tile):
+        for i in range(tile, 64, 8):
+            addr = morph.get_actor_addr(i)
+            yield Load(addr, 8)
+            seen.append((i, machine.mem.get(addr)))
+            yield Compute(1)
+
+    for tile in range(4):
+        machine.spawn(toucher(tile), tile=tile)
+    machine.run()
+    return tuple(sorted(seen))
+
+
+class RangeStream(Stream):
+    def gen_stream(self, env):
+        for i in range(24):
+            yield from self.push(i * 2)
+
+
+def stream_workload(machine, runtime):
+    """Producer on tile 1's engine, consumer on tile 0's core."""
+    stream = RangeStream(
+        runtime, object_size=8, buffer_entries=16, consumer_tile=0, producer_tile=1
+    )
+    got = []
+
+    def consumer():
+        while True:
+            value = yield from stream.consume()
+            if value is STREAM_END:
+                return
+            got.append(value)
+
+    def starter():
+        yield Compute(1)
+        stream.start()
+        machine.spawn(consumer(), tile=0)
+
+    machine.spawn(starter(), tile=0)
+    machine.run()
+    return tuple(got)
+
+
+WORKLOADS = {
+    "offload": offload_workload,
+    "morph": morph_workload,
+    "stream": stream_workload,
+}
+
+
+def run_workload(name, plan=None, **config_overrides):
+    machine = Machine(small_config(**config_overrides))
+    runtime = Leviathan(machine)
+    if plan is not None:
+        plan.attach(machine)
+    result = WORKLOADS[name](machine, runtime)
+    return machine, result
+
+
+# ----------------------------------------------------------------------
+# survivable chaos
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSurvivableChaos:
+    def test_results_bit_identical_to_fault_free(self, workload, seed):
+        _, clean = run_workload(workload)
+        plan = random_survivable_plan(seed)
+        machine, faulted = run_workload(workload, plan)
+        assert faulted == clean, f"plan {plan.spec()} corrupted results"
+
+    def test_replay_is_deterministic(self, workload, seed):
+        plan = random_survivable_plan(seed)
+        first_machine, first = run_workload(workload, plan)
+        second_machine, second = run_workload(workload, plan)
+        assert first == second
+        assert dict(first_machine.stats.counters) == dict(
+            second_machine.stats.counters
+        )
+        assert first_machine.faults.injected == second_machine.faults.injected
+
+
+def test_plans_differ_across_seeds():
+    specs = {random_survivable_plan(seed).spec() for seed in SEEDS}
+    assert len(specs) == len(SEEDS)
+
+
+def test_chaos_with_bounded_retries_still_identical():
+    # Bounded-retry mode changes NACK handling; survivable plans must
+    # still converge to the same results.
+    _, clean = run_workload("offload")
+    plan = random_survivable_plan(SEEDS[0])
+    overrides = {"core.invoke_max_retries": 16, "core.invoke_retry_delay": 10}
+    _, clean_bounded = run_workload("offload", **overrides)
+    assert clean_bounded == clean
+    _, faulted = run_workload("offload", plan, **overrides)
+    assert faulted == clean
+
+
+# ----------------------------------------------------------------------
+# unsurvivable chaos: typed, loud failures
+# ----------------------------------------------------------------------
+class TestUnsurvivableChaos:
+    def test_permanent_exhaustion_with_bounded_retries_times_out(self):
+        plan = FaultPlan([ContextExhaustion(t, 0.0, 1e9) for t in range(4)])
+        with pytest.raises(InvokeTimeout):
+            run_workload(
+                "offload",
+                plan,
+                **{"core.invoke_max_retries": 3, "core.invoke_retry_delay": 5},
+            )
+
+    def test_livelock_hits_the_watchdog(self):
+        from repro.sim.scheduler import DeadlockError
+
+        machine = Machine(small_config(watchdog_steps=500))
+
+        def spin():
+            while True:
+                yield Compute(0)
+
+        machine.spawn(spin(), tile=0, name="chaos-spinner")
+        with pytest.raises(DeadlockError, match="chaos-spinner"):
+            machine.run()

@@ -91,3 +91,92 @@ class TestTelemetryCli:
     def test_telemetry_report_empty_dir(self, tmp_path, capsys):
         assert cli.main(["telemetry", str(tmp_path)]) == 1
         assert "no telemetry runs" in capsys.readouterr().out
+
+
+class TestFaultsCli:
+    def test_faults_flag_arms_a_plan(self, tmp_path, capsys):
+        import json
+
+        from repro.sim.faults import active_session
+
+        outdir = tmp_path / "chaos"
+        assert (
+            cli.main(
+                [
+                    "ablation-mc-cache",
+                    "--no-check",
+                    "--faults",
+                    "noc-delay:0.05@20; seed:3",
+                    "--telemetry-out",
+                    str(outdir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        # The session must not leak past the run.
+        assert active_session() is None
+        report_path = outdir / "ablation-mc-cache" / "fault_report.json"
+        assert report_path.exists()
+        report = json.loads(report_path.read_text())
+        assert report["seed"] == 3
+        assert report["machines"]
+
+    def test_faults_without_telemetry_dir(self, capsys):
+        assert (
+            cli.main(
+                ["ablation-mc-cache", "--no-check", "--faults", "noc-delay:0.01@10"]
+            )
+            == 0
+        )
+        assert "faults:" in capsys.readouterr().out
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.sim.faults import FaultPlanError
+
+        with pytest.raises(FaultPlanError):
+            cli.main(["ablation-mc-cache", "--no-check", "--faults", "meteor:1"])
+
+    def test_crashing_workload_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import registry
+
+        def crashing():
+            raise RuntimeError("chaos took the machine down")
+
+        registry.register("crash-test", crashing, "always crashes")
+        try:
+            outdir = tmp_path / "crash"
+            assert (
+                cli.main(["crash-test", "--telemetry-out", str(outdir)]) == 1
+            )
+            err = capsys.readouterr().err
+            assert "CRASHED: crash-test" in err
+            assert "chaos took the machine down" in err
+            error_path = outdir / "crash-test" / "error.json"
+            assert error_path.exists()
+            saved = json.loads(error_path.read_text())
+            assert saved["error"] == "RuntimeError"
+            assert "chaos took the machine down" in saved["message"]
+            assert "Traceback" in saved["traceback"]
+        finally:
+            registry._runners.pop("crash-test", None)
+
+    def test_crash_does_not_leak_sessions(self, capsys):
+        from repro.experiments import registry
+        from repro.sim.faults import active_session as fault_session
+        from repro.sim.telemetry.session import active_session as telemetry_session
+
+        def crashing():
+            raise ValueError("boom")
+
+        registry.register("crash-test-2", crashing, "always crashes")
+        try:
+            assert cli.main(["crash-test-2", "--faults", "seed:1"]) == 1
+            assert fault_session() is None
+            assert telemetry_session() is None
+        finally:
+            registry._runners.pop("crash-test-2", None)
+        capsys.readouterr()

@@ -163,3 +163,123 @@ class TestThreadPairStream:
         machine.spawn(consumer(), tile=1)
         machine.run()
         assert machine.stats["engine.instructions"] == 0
+
+    def test_backpressure_bounds_occupancy(self, machine, runtime):
+        stream = ThreadPairStream(
+            runtime, object_size=64, buffer_entries=2, producer_tile=0, consumer_tile=1
+        )
+        peak = []
+
+        def producer():
+            for i in range(10):
+                yield from stream.push(i)
+                peak.append(stream.tail - stream.head)
+            stream.close()
+
+        got = []
+
+        def consumer():
+            while True:
+                value = yield from stream.pop()
+                if value is ThreadPairStream.END:
+                    return
+                got.append(value)
+
+        machine.spawn(producer(), tile=0)
+        machine.spawn(consumer(), tile=1)
+        machine.run()
+        assert got == list(range(10))
+        assert max(peak) <= 2
+
+    def test_close_wakes_blocked_consumer(self, machine, runtime):
+        stream = ThreadPairStream(
+            runtime, object_size=64, buffer_entries=4, producer_tile=0, consumer_tile=1
+        )
+        ended = []
+
+        def consumer():
+            value = yield from stream.pop()  # blocks: nothing produced
+            ended.append(value is ThreadPairStream.END)
+
+        def producer():
+            yield Compute(100)
+            stream.close()
+
+        machine.spawn(consumer(), tile=1)
+        machine.spawn(producer(), tile=0)
+        machine.run()
+        assert ended == [True]
+
+    def test_slots_are_line_aligned(self, runtime):
+        stream = ThreadPairStream(
+            runtime, object_size=100, buffer_entries=4, producer_tile=0, consumer_tile=1
+        )
+        assert stream.slot_size == 128
+        assert stream.slot_addr(0) % 64 == 0
+        assert stream.slot_addr(5) == stream.slot_addr(1)
+
+
+class TestDegradedStream:
+    """A Stream whose producer engine failed collapses to the queue."""
+
+    def _degraded_stream(self, machine, runtime, n=12, buffer_entries=16):
+        from repro.core.stream import Stream
+        from repro.sim.faults import FaultPlan
+
+        FaultPlan.parse("crash:1").attach(machine)
+
+        class Producer(Stream):
+            def gen_stream(self, env):
+                for i in range(n):
+                    yield from self.push(i * 10)
+
+        return Producer(
+            runtime,
+            object_size=8,
+            buffer_entries=buffer_entries,
+            consumer_tile=0,
+            producer_tile=1,
+        )
+
+    def test_push_and_consume_through_queue(self, machine, runtime):
+        from repro.core.stream import STREAM_END
+
+        stream = self._degraded_stream(machine, runtime)
+        got = []
+
+        def consumer():
+            while True:
+                value = yield from stream.consume()
+                if value is STREAM_END:
+                    return
+                got.append(value)
+
+        def starter():
+            yield Compute(1)
+            stream.start()
+            machine.spawn(consumer(), tile=0)
+
+        machine.spawn(starter(), tile=0)
+        machine.run()
+        assert got == [i * 10 for i in range(12)]
+        assert machine.stats["stream.degraded"] == 1
+        # The phantom range was unregistered: no data-triggered actions.
+        assert not stream.registered
+        assert machine.stats["engine.instructions"] == 0
+
+    def test_terminate_unblocks_degraded_producer(self, machine, runtime):
+        stream = self._degraded_stream(machine, runtime, n=50, buffer_entries=16)
+
+        def consumer():
+            for _ in range(3):
+                yield from stream.consume()
+            stream.terminate()
+
+        def starter():
+            yield Compute(1)
+            stream.start()
+            machine.spawn(consumer(), tile=0)
+
+        machine.spawn(starter(), tile=0)
+        machine.run()  # terminates: the blocked producer is released
+        assert machine.stats["stream.terminated_early"] == 1

@@ -113,3 +113,86 @@ def test_property_invoke_storms_deterministic(ops):
     second = run_storm(ops)
     assert first[2] == second[2]
     assert dict(first[0].stats.counters) == dict(second[0].stats.counters)
+
+
+# ----------------------------------------------------------------------
+# NACK/spill accounting under injected context exhaustion
+# ----------------------------------------------------------------------
+def run_exhausted_storm(ops, window, max_retries=None):
+    """The invoke storm with an exhaustion window on every engine."""
+    from repro.core.engine import NACK_BYTES
+    from repro.sim.faults import ContextExhaustion, FaultPlan
+
+    overrides = {"engine.task_contexts": 2}
+    if max_retries is not None:
+        overrides["core.invoke_max_retries"] = max_retries
+        overrides["core.invoke_retry_delay"] = 20
+    cfg = small_config(**overrides)
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    FaultPlan(
+        [ContextExhaustion(t, 0.0, window) for t in range(4)], seed=1
+    ).attach(machine)
+    alloc = runtime.allocator_for(Tally, capacity=8)
+    actors = [alloc.allocate() for _ in range(8)]
+
+    per_tile = {t: [] for t in range(4)}
+    expected = {i: 0 for i in range(8)}
+    for tile, actor_index, loc_index, exclusive in ops:
+        per_tile[tile].append((actor_index, loc_index, exclusive))
+        expected[actor_index] += 1
+
+    def invoker(jobs):
+        for actor_index, loc_index, exclusive in jobs:
+            yield Invoke(
+                actors[actor_index],
+                "hit",
+                (1,),
+                location=LOCATIONS[loc_index],
+                exclusive=exclusive,
+            )
+            yield Compute(1)
+
+    for tile, jobs in per_tile.items():
+        if jobs:
+            machine.spawn(invoker(jobs), tile=tile)
+    machine.run()
+    got = {i: machine.mem.get(actors[i].addr, 0) for i in range(8)}
+    return machine, runtime, expected, got, NACK_BYTES
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=INVOKE_SEQ, window=st.sampled_from([50.0, 200.0, 800.0]))
+def test_property_spill_bytes_account_every_retry(ops, window):
+    """In a survivable run, ``invoke.spill_bytes == NACK_BYTES * retries``:
+
+    every NACK bounces ``NACK_BYTES`` back to the invoker and triggers
+    exactly one re-send, in both the legacy spill queue and the bounded
+    retry shuttle (windows short enough for the backoff to outlast).
+    """
+    for max_retries in (None, 16):
+        machine, _, expected, got, nack_bytes = run_exhausted_storm(
+            ops, window, max_retries=max_retries
+        )
+        assert got == expected
+        assert (
+            machine.stats["invoke.spill_bytes"]
+            == nack_bytes * machine.stats["invoke.retries"]
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=INVOKE_SEQ, window=st.sampled_from([50.0, 400.0]))
+def test_property_invoke_buffers_drain_to_zero(ops, window):
+    """After the machine drains, no invoke-buffer slot is still in flight
+    and no engine still holds busy or spill-queued tasks."""
+    machine, runtime, expected, got, _ = run_exhausted_storm(ops, window)
+    assert got == expected
+    now = machine.now
+    for buffer in runtime.invoke_buffers:
+        outstanding = [s for s in buffer._acks if s[0] is None or s[0] > now]
+        assert outstanding == []
+    assert all(
+        engine.busy_offload == 0 and engine.queued_tasks == 0
+        for engine in runtime.engines
+    )
