@@ -7,49 +7,71 @@ headline figures, but each grounded in a specific claim in the text).
   to pull hot actors up the hierarchy).
 - DRAM compaction (Sec. VIII-B: padding 24 B nodes to 32 B would cost
   25% memory fragmentation without it).
+
+Each ablation point is a module-level function so it can be named in a
+:class:`~repro.experiments.pool.RunSpec` (``repro.experiments.ablations:
+mc_cache_point``) and executed in a pool worker process; the ``run_*``
+entry points only enumerate specs and shape the pooled results into
+:class:`~repro.experiments.runner.Experiment` rows.
 """
 
 from repro.core.actor import Actor, action
 from repro.core.offload import Invoke, Location
 from repro.core.runtime import Leviathan
+from repro.experiments.pool import RunSpec, default_pool, run_study
 from repro.experiments.runner import Experiment
 from repro.sim.config import small_config
 from repro.sim.ops import Compute, Load
 from repro.sim.system import Machine
+from repro.workloads.common import finish_run
+
+_SELF = "repro.experiments.ablations:"
+_HT = "repro.workloads.hashtable:"
+_COMPONENTS = "repro.workloads.components:"
 
 
-def run_mc_cache(fifo_sizes=(0, 8, 32, 128)):
-    """Sweep the MC FIFO cache on a compacted sequential scan.
+def mc_cache_point(fifo_lines):
+    """One point of the MC FIFO-cache sweep: a compacted sequential scan.
 
     A 24 B-object array is padded to 32 B in cache space but packed in
     DRAM, so consecutive cache lines share DRAM lines; the FIFO cache
     absorbs the repeats.
     """
+    cfg = small_config(**{"memory.fifo_lines": fifo_lines})
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    alloc = runtime.allocator(24, capacity=4096)
+    addrs = [alloc.allocate() for _ in range(2048)]
+
+    def scan(addrs=addrs):
+        for addr in addrs:
+            yield Load(addr, 24)
+            yield Compute(2)
+
+    machine.spawn(scan(), tile=0, name="scan")
+    machine.run()
+    return finish_run(machine, f"fifo-{fifo_lines}")
+
+
+def run_mc_cache(fifo_sizes=(0, 8, 32, 128), pool=None):
+    """Sweep the MC FIFO cache on a compacted sequential scan."""
+    pool = pool or default_pool()
     exp = Experiment(
         name="Memory-controller FIFO cache",
         paper_reference="Sec. VI-A3",
         notes="Paper: the 32-line FIFO cache cuts DRAM accesses by up to ~3x.",
     )
+    specs = [
+        RunSpec(_SELF + "mc_cache_point", {"fifo_lines": fifo}, f"mc_cache/fifo{fifo}")
+        for fifo in fifo_sizes
+    ]
     dram = {}
-    for fifo in fifo_sizes:
-        cfg = small_config(**{"memory.fifo_lines": fifo})
-        machine = Machine(cfg)
-        runtime = Leviathan(machine)
-        alloc = runtime.allocator(24, capacity=4096)
-        addrs = [alloc.allocate() for _ in range(2048)]
-
-        def scan(addrs=addrs):
-            for addr in addrs:
-                yield Load(addr, 24)
-                yield Compute(2)
-
-        machine.spawn(scan(), tile=0, name="scan")
-        machine.run()
-        dram[fifo] = machine.stats["dram.accesses"]
+    for fifo, result in zip(fifo_sizes, pool.run_results(specs)):
+        dram[fifo] = result.stat("dram.accesses")
         exp.add_row(
             fifo_lines=fifo,
             dram_accesses=dram[fifo],
-            mc_hits=machine.stats["mc_cache.hits"],
+            mc_hits=result.stat("mc_cache.hits"),
         )
     exp.expect(
         "the 32-line FIFO cuts DRAM accesses vs. no FIFO",
@@ -81,56 +103,67 @@ class _HotActor(Actor):
         return 1
 
 
-def run_migration(periods=(0, 32)):
-    """DYNAMIC-task migration: hot actors migrate toward the invoker.
+def migration_point(period):
+    """One point of the migration ablation: a synchronous hot-actor loop.
 
     One core synchronously invokes a DYNAMIC task on one hot actor
     homed at a remote bank. With migration, the actor's line is pulled
     into the invoker's tile and later tasks execute locally, cutting
-    the per-task round trip.
+    the per-task round trip. ``period=0`` disables migration.
     """
     from repro.core.future import WaitFuture
 
+    cfg = small_config()
+    if period == 0:
+        # Effectively disable migration.
+        cfg.leviathan.migration_period = 1 << 30
+    else:
+        cfg.leviathan.migration_period = period
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    alloc = runtime.allocator_for(_HotActor, capacity=16)
+    actor = alloc.allocate()
+    bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(actor.addr))
+    invoker_tile = (bank + 1) % machine.config.n_tiles
+
+    def pounder(actor=actor):
+        for _ in range(512):
+            future = yield Invoke(
+                actor, "probe", location=Location.DYNAMIC, with_future=True
+            )
+            yield WaitFuture(future)
+
+    machine.spawn(pounder(), tile=invoker_tile, name="pounder")
+    machine.run()
+    return finish_run(machine, f"migration-{period}")
+
+
+def run_migration(periods=(0, 32), pool=None):
+    """DYNAMIC-task migration: hot actors migrate toward the invoker."""
+    pool = pool or default_pool()
     exp = Experiment(
         name="DYNAMIC-task migration",
         paper_reference="Sec. VI-B1",
         notes="Paper: 1/32 of remote DYNAMIC tasks execute locally to pull data up.",
     )
+    specs = [
+        RunSpec(
+            _SELF + "migration_point", {"period": period}, f"migration/period{period}"
+        )
+        for period in periods
+    ]
     local_counts = {}
     cycles = {}
-    for period in periods:
-        cfg = small_config()
-        if period == 0:
-            # Effectively disable migration.
-            cfg.leviathan.migration_period = 1 << 30
-        else:
-            cfg.leviathan.migration_period = period
-        machine = Machine(cfg)
-        runtime = Leviathan(machine)
-        alloc = runtime.allocator_for(_HotActor, capacity=16)
-        actor = alloc.allocate()
-        bank = machine.hierarchy.bank_of(machine.hierarchy.line_of(actor.addr))
-        invoker_tile = (bank + 1) % machine.config.n_tiles
-
-        def pounder(actor=actor):
-            for _ in range(512):
-                future = yield Invoke(
-                    actor, "probe", location=Location.DYNAMIC, with_future=True
-                )
-                yield WaitFuture(future)
-
-        machine.spawn(pounder(), tile=invoker_tile, name="pounder")
-        machine.run()
+    for period, result in zip(periods, pool.run_results(specs)):
         label = "off" if period == 0 else str(period)
-        local_counts[period] = (
-            machine.stats["invoke.inline_at_core"]
-            + machine.stats["invoke.local_engine"]
+        local_counts[period] = result.stat("invoke.inline_at_core") + result.stat(
+            "invoke.local_engine"
         )
-        cycles[period] = machine.scheduler.now
+        cycles[period] = result.cycles
         exp.add_row(
             migration_period=label,
             local_executions=local_counts[period],
-            migrations=machine.stats["invoke.migrations"],
+            migrations=result.stat("invoke.migrations"),
             cycles=cycles[period],
         )
     exp.expect(
@@ -148,7 +181,7 @@ def run_migration(periods=(0, 32)):
     return exp
 
 
-def run_near_memory(bucket_multiplier=16):
+def run_near_memory(bucket_multiplier=16, pool=None):
     """Near-memory engines on a beyond-LLC hash table (Sec. IX).
 
     Fig. 24 shows Leviathan's speedup eroding once the table outgrows
@@ -158,6 +191,7 @@ def run_near_memory(bucket_multiplier=16):
     """
     import repro.workloads.hashtable as ht_module
 
+    pool = pool or default_pool()
     exp = Experiment(
         name="Near-memory engines (extension)",
         paper_reference="Sec. IX (future work)",
@@ -177,31 +211,32 @@ def run_near_memory(bucket_multiplier=16):
     fixed_bytes = ht_module._padded_table_bytes(
         {**ht_module.DEFAULT_PARAMS, "n_buckets": 64, "object_size": 64}
     )
-    original_config = ht_module.hashtable_config
-
-    def make_config(near_memory):
-        def cfg_fn(n_tiles=16, ideal=False, table_bytes=None):
-            cfg = original_config(n_tiles=n_tiles, ideal=ideal, table_bytes=fixed_bytes)
-            cfg.leviathan.near_memory_engines = near_memory
-            return cfg
-
-        return cfg_fn
+    specs = []
+    for near_memory in (False, True):
+        kwargs = {
+            "params": params,
+            "table_bytes": fixed_bytes,
+            "config_overrides": {"leviathan.near_memory_engines": near_memory},
+        }
+        tag = "on" if near_memory else "off"
+        specs.append(
+            RunSpec(_HT + "run_baseline", kwargs, f"near_memory/{tag}/baseline")
+        )
+        specs.append(
+            RunSpec(_HT + "run_leviathan", kwargs, f"near_memory/{tag}/leviathan")
+        )
+    results = pool.run_results(specs)
 
     speedups = {}
-    try:
-        for near_memory in (False, True):
-            ht_module.hashtable_config = make_config(near_memory)
-            base = ht_module.run_baseline(params)
-            lev = ht_module.run_leviathan(params)
-            speedups[near_memory] = lev.speedup_over(base)
-            exp.add_row(
-                near_memory_engines="on" if near_memory else "off",
-                speedup=speedups[near_memory],
-                near_memory_placements=lev.stat("invoke.near_memory"),
-                dram_accesses=lev.stat("dram.accesses"),
-            )
-    finally:
-        ht_module.hashtable_config = original_config
+    for i, near_memory in enumerate((False, True)):
+        base, lev = results[2 * i], results[2 * i + 1]
+        speedups[near_memory] = lev.speedup_over(base)
+        exp.add_row(
+            near_memory_engines="on" if near_memory else "off",
+            speedup=speedups[near_memory],
+            near_memory_placements=lev.stat("invoke.near_memory"),
+            dram_accesses=lev.stat("dram.accesses"),
+        )
     exp.expect(
         "near-memory engines help a spilled table",
         "greater",
@@ -217,7 +252,7 @@ def run_near_memory(bucket_multiplier=16):
     return exp
 
 
-def run_components():
+def run_components(pool=None):
     """PHI generality: commutative ``min`` instead of ``add`` (Sec. IV).
 
     Connected components by synchronous min-label propagation, on the
@@ -228,9 +263,17 @@ def run_components():
     while Leviathan applies candidates at eviction time (PHI's actual
     mechanism), so the factor here is larger than Fig. 5's.
     """
-    from repro.workloads import components
-
-    study = components.run_all()
+    pool = pool or default_pool()
+    specs = [
+        RunSpec(_COMPONENTS + "run_baseline", {}, "components/baseline"),
+        RunSpec(_COMPONENTS + "run_leviathan", {}, "components/leviathan"),
+    ]
+    study = run_study(
+        pool,
+        "Connected components (PHI generality)",
+        "baseline",
+        specs,
+    )
     exp = Experiment(
         name="Connected components (PHI generality)",
         paper_reference="Sec. IV (generality claim)",
@@ -247,25 +290,43 @@ def run_components():
     return exp
 
 
-def run_compaction():
+def compaction_point(compaction):
+    """One point of the compaction ablation: allocate one 24 B object."""
+    cfg = small_config()
+    machine = Machine(cfg)
+    runtime = Leviathan(machine)
+    alloc = runtime.allocator(24, capacity=64, compaction=compaction)
+    alloc.allocate()
+    return {
+        "compaction": compaction,
+        "dram_bytes_per_object": alloc.dram_bytes_per_object(),
+        "fragmentation": alloc.fragmentation(),
+    }
+
+
+def run_compaction(pool=None):
     """DRAM fragmentation with and without compaction (Sec. VIII-B)."""
+    pool = pool or default_pool()
     exp = Experiment(
         name="DRAM object compaction",
         paper_reference="Sec. V-A3 / VIII-B",
         notes="Paper: padding 24 B nodes to 32 B would waste 25% of DRAM.",
     )
-    cfg = small_config()
-    machine = Machine(cfg)
-    runtime = Leviathan(machine)
+    specs = [
+        RunSpec(
+            _SELF + "compaction_point",
+            {"compaction": compaction},
+            f"compaction/{'on' if compaction else 'off'}",
+        )
+        for compaction in (True, False)
+    ]
     fragmentations = {}
-    for compaction in (True, False):
-        alloc = runtime.allocator(24, capacity=64, compaction=compaction)
-        alloc.allocate()
-        fragmentations[compaction] = alloc.fragmentation()
+    for point in pool.run_results(specs):
+        fragmentations[point["compaction"]] = point["fragmentation"]
         exp.add_row(
-            compaction="on" if compaction else "off",
-            dram_bytes_per_object=alloc.dram_bytes_per_object(),
-            fragmentation_pct=alloc.fragmentation() * 100,
+            compaction="on" if point["compaction"] else "off",
+            dram_bytes_per_object=point["dram_bytes_per_object"],
+            fragmentation_pct=point["fragmentation"] * 100,
         )
     exp.expect("no fragmentation with compaction", "less", fragmentations[True], 1e-9)
     exp.expect(

@@ -2,11 +2,21 @@
 
 ``leviathan-repro list`` shows every registered experiment;
 ``leviathan-repro all`` regenerates every table and figure.
+
+Simulation runs execute on an :class:`~repro.experiments.pool.
+ExperimentPool`: ``--jobs N`` fans independent runs out over worker
+processes (default: one per CPU), results are content-hash cached
+under ``--cache-dir`` (default ``results-cache/``, or
+``$LEVIATHAN_CACHE_DIR``), ``--resume`` replays a sweep's completed
+manifest entries after an interruption, and ``--no-cache`` forces
+re-execution. See ``docs/experiments.md``.
+
 ``--telemetry-out DIR`` additionally captures telemetry (Perfetto
-trace + metrics snapshot) for every machine each experiment builds;
+trace + metrics snapshot) for every machine each run builds, under
+``DIR/runs/<label>-<hash>/machine-NN/``;
 ``leviathan-repro telemetry DIR`` summarizes a captured directory.
-``--faults SPEC`` arms a :class:`~repro.sim.faults.FaultPlan` on every
-machine (chaos runs); a workload that raises makes the run exit
+``--faults SPEC`` arms a :class:`~repro.sim.faults.FaultPlan` inside
+every run (chaos runs); a run that raises makes the sweep exit
 nonzero, with the exception and fault report written into the
 telemetry directory when one is given.
 """
@@ -20,6 +30,7 @@ import traceback
 
 from repro.experiments import registry
 from repro.experiments import ablations, figures, sensitivity, tables
+from repro.experiments.pool import ExperimentPool
 
 _EXPERIMENTS = {
     "table1": (tables.run_table1, "Table I: NDC taxonomy"),
@@ -80,10 +91,37 @@ def main(argv=None):
         help="also write the reports as a markdown document",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation runs (default: CPU count); "
+        "results are identical for any N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("LEVIATHAN_CACHE_DIR", "results-cache"),
+        metavar="DIR",
+        help="content-addressed result cache (default: results-cache/, "
+        "or $LEVIATHAN_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached results and re-execute every run",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already recorded ok in the cache manifest "
+        "(continue an interrupted sweep)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         metavar="DIR",
-        help="capture telemetry (Perfetto trace + metrics) per experiment "
-        "machine under DIR/<experiment>/machine-NN/",
+        help="capture telemetry (Perfetto trace + metrics) per simulation "
+        "run under DIR/runs/<label>-<hash>/machine-NN/",
     )
     parser.add_argument(
         "--faults",
@@ -111,11 +149,21 @@ def main(argv=None):
 
     from repro.experiments.plotting import speedup_chart
 
-    fault_session = None
     if args.faults:
-        from repro.sim.faults import FaultSession
+        # Validate the fault spec up front (each pool worker re-parses
+        # it per run); a bad spec is a usage error, not a chaos crash.
+        from repro.sim.faults import FaultPlan
 
-        fault_session = FaultSession(args.faults)
+        FaultPlan.parse(args.faults)
+
+    pool = ExperimentPool(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        resume=args.resume,
+        telemetry_dir=args.telemetry_out,
+        faults=args.faults,
+    )
 
     names = registry.names() if args.experiment == "all" else [args.experiment]
     failed = []
@@ -123,19 +171,10 @@ def main(argv=None):
     markdown_sections = []
     for name in names:
         started = time.time()
-        telemetry_session = None
-        if args.telemetry_out:
-            from repro.sim.telemetry import TelemetrySession
-
-            telemetry_session = TelemetrySession()
         error = None
         error_text = None
-        if fault_session is not None:
-            fault_session.reset().install()
-        if telemetry_session is not None:
-            telemetry_session.install()
         try:
-            experiment = registry.run(name)
+            experiment = registry.run(name, pool=pool)
         except KeyError:
             # Unknown experiment name: a usage error, not a workload
             # crash -- propagate as before.
@@ -143,33 +182,35 @@ def main(argv=None):
         except Exception as exc:  # workload crashed (chaos runs do this)
             error = exc
             error_text = traceback.format_exc()
-        finally:
-            if telemetry_session is not None:
-                telemetry_session.uninstall()
-            if fault_session is not None:
-                fault_session.uninstall()
         elapsed = time.time() - started
 
+        report = pool.consume_report()
+        executed = report.get("executed", 0)
+        cached = report.get("cached", 0)
         outdir = None
         if args.telemetry_out:
             outdir = os.path.join(args.telemetry_out, name)
-            telemetry_session.save(outdir)
             print(
-                f"telemetry: {len(telemetry_session.telemetries)} machine(s) -> {outdir}"
+                f"telemetry: {report.get('telemetry_machines', 0)} machine(s) -> "
+                f"{os.path.join(args.telemetry_out, 'runs')}"
             )
-        if fault_session is not None:
+        if args.faults:
             print(
-                f"faults: {fault_session.total_injected} injected over "
-                f"{len(fault_session.controllers)} machine(s)"
+                f"faults: {report.get('faults_injected', 0)} injected over "
+                f"{executed} run(s)"
             )
-            if outdir is not None:
-                fault_session.save(outdir)
+        if executed or cached:
+            print(
+                f"pool: {executed} executed, {cached} cached "
+                f"({pool.jobs} job(s))"
+            )
 
         if error is not None:
             crashed.append(name)
             print(f"ERROR: {name} raised {type(error).__name__}: {error}", file=sys.stderr)
             print(error_text, file=sys.stderr)
             if outdir is not None:
+                os.makedirs(outdir, exist_ok=True)
                 with open(os.path.join(outdir, "error.json"), "w") as handle:
                     json.dump(
                         {

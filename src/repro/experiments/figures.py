@@ -1,26 +1,84 @@
 """Figures 5, 16, 18, 20, 21: the case-study results.
 
-Each ``run_figN`` executes the corresponding case study at reproduction
-scale and checks the paper's qualitative claims. Absolute factors are
-checked against generous bands around the paper's numbers (the
-substrate is a coarse simulator, not the authors' testbed); orderings
-are checked strictly.
+Each ``run_figN`` enumerates the corresponding case study into
+:class:`~repro.experiments.pool.RunSpec` entries (one simulator
+execution each), executes them on an experiment pool -- in parallel
+when the pool has ``jobs>1``, with content-addressed result caching --
+and checks the paper's qualitative claims on the reassembled study.
+Absolute factors are checked against generous bands around the paper's
+numbers (the substrate is a coarse simulator, not the authors'
+testbed); orderings are checked strictly.
+
+Figs. 20 and 21 enumerate identical HATS specs, so the second figure
+is served entirely from the pool's cache.
 """
 
+from repro.experiments.pool import RunSpec, default_pool, run_study
 from repro.experiments.runner import Experiment
-from repro.workloads import decompress, hashtable, hats, phi
+from repro.workloads import hats
+from repro.workloads.common import StudyResult
 
-#: Memoized default-parameter HATS study (Figs. 20 and 21 share it).
-_hats_default_study = None
+_PHI = "repro.workloads.phi:"
+_DEC = "repro.workloads.decompress:"
+_HT = "repro.workloads.hashtable:"
+_HATS = "repro.workloads.hats:"
 
 
-def _hats_study(params):
-    global _hats_default_study
-    if params is None:
-        if _hats_default_study is None:
-            _hats_default_study = hats.run_all()
-        return _hats_default_study
-    return hats.run_all(params=params)
+def _phi_specs(params):
+    return [
+        RunSpec(_PHI + "run_baseline", {"params": params}, "fig5/baseline"),
+        RunSpec(_PHI + "run_tako", {"params": params, "relaxed": False}, "fig5/tako_fence"),
+        RunSpec(_PHI + "run_tako", {"params": params, "relaxed": True}, "fig5/tako_relax"),
+        RunSpec(_PHI + "run_leviathan", {"params": params}, "fig5/leviathan"),
+        RunSpec(_PHI + "run_leviathan", {"params": params, "ideal": True}, "fig5/ideal"),
+    ]
+
+
+def _decompress_specs(params):
+    return [
+        RunSpec(_DEC + "run_baseline", {"params": params}, "fig16/baseline"),
+        RunSpec(_DEC + "run_offload", {"params": params}, "fig16/offload"),
+        RunSpec(_DEC + "run_no_padding", {"params": params}, "fig16/no_padding"),
+        RunSpec(_DEC + "run_leviathan", {"params": params}, "fig16/leviathan"),
+        RunSpec(_DEC + "run_leviathan", {"params": params, "ideal": True}, "fig16/ideal"),
+    ]
+
+
+def _hats_specs(params):
+    return [
+        RunSpec(_HATS + "run_baseline", {"params": params}, "hats/baseline"),
+        RunSpec(_HATS + "run_sw_bdfs", {"params": params}, "hats/sw_bdfs"),
+        RunSpec(_HATS + "run_tako", {"params": params}, "hats/tako"),
+        RunSpec(_HATS + "run_leviathan", {"params": params}, "hats/leviathan"),
+        RunSpec(_HATS + "run_leviathan", {"params": params, "ideal": True}, "hats/ideal"),
+    ]
+
+
+def _fig18_specs(params, sizes):
+    """Per-size spec lists; flattened into ONE pool submission so every
+    run of the grid is in flight at once under ``--jobs N``."""
+    by_size = {}
+    for size in sizes:
+        p = dict(params or {})
+        p["object_size"] = size
+        specs = [
+            RunSpec(_HT + "run_baseline", {"params": p}, f"fig18/{size}B/baseline"),
+            RunSpec(_HT + "run_leviathan", {"params": p}, f"fig18/{size}B/leviathan"),
+        ]
+        if size == 24:
+            specs.append(
+                RunSpec(_HT + "run_no_padding", {"params": p}, f"fig18/{size}B/no_padding")
+            )
+        if size == 128:
+            specs.append(
+                RunSpec(
+                    _HT + "run_no_llc_mapping",
+                    {"params": p},
+                    f"fig18/{size}B/no_llc_mapping",
+                )
+            )
+        by_size[size] = (p, specs)
+    return by_size
 
 
 def _study_rows(exp, study):
@@ -37,8 +95,9 @@ def _study_rows(exp, study):
     return speedups, savings
 
 
-def run_fig5(params=None):
-    study = phi.run_all(params=params)
+def run_fig5(params=None, pool=None):
+    pool = pool or default_pool()
+    study = run_study(pool, "PHI (Fig. 5)", "baseline", _phi_specs(params), params=params)
     exp = Experiment(
         name="PHI / commutative scatter-updates",
         paper_reference="Fig. 5",
@@ -74,8 +133,11 @@ def run_fig5(params=None):
     return exp
 
 
-def run_fig16(params=None):
-    study = decompress.run_all(params=params)
+def run_fig16(params=None, pool=None):
+    pool = pool or default_pool()
+    study = run_study(
+        pool, "Decompression (Fig. 16)", "baseline", _decompress_specs(params), params=params
+    )
     exp = Experiment(
         name="Near-cache data transformation (decompression)",
         paper_reference="Fig. 16",
@@ -101,8 +163,21 @@ def run_fig16(params=None):
     return exp
 
 
-def run_fig18(params=None, sizes=(24, 64, 128)):
-    studies = hashtable.run_size_study(params=params, sizes=sizes)
+def run_fig18(params=None, sizes=(24, 64, 128), pool=None):
+    pool = pool or default_pool()
+    spec_grid = _fig18_specs(params, sizes)
+    flat = [spec for _, specs in spec_grid.values() for spec in specs]
+    results = pool.run_results(flat)
+    studies = {}
+    cursor = 0
+    for size, (p, specs) in spec_grid.items():
+        study = StudyResult(
+            study=f"Hash table {size}B (Fig. 18)", baseline="baseline", params=p
+        )
+        for result in results[cursor : cursor + len(specs)]:
+            study.add(result)
+        cursor += len(specs)
+        studies[size] = study
     exp = Experiment(
         name="Hash-table lookups across object sizes",
         paper_reference="Fig. 18",
@@ -189,8 +264,11 @@ def run_fig18(params=None, sizes=(24, 64, 128)):
     return exp
 
 
-def run_fig20(params=None):
-    study = _hats_study(params)
+def run_fig20(params=None, pool=None):
+    pool = pool or default_pool()
+    study = run_study(
+        pool, "HATS (Figs. 20-21)", "baseline", _hats_specs(params), params=params
+    )
     exp = Experiment(
         name="Decoupled graph traversal (HATS)",
         paper_reference="Fig. 20",
@@ -215,8 +293,12 @@ def run_fig20(params=None):
     return exp
 
 
-def run_fig21(params=None, study=None):
-    study = study or _hats_study(params)
+def run_fig21(params=None, study=None, pool=None):
+    if study is None:
+        pool = pool or default_pool()
+        study = run_study(
+            pool, "HATS (Figs. 20-21)", "baseline", _hats_specs(params), params=params
+        )
     exp = Experiment(
         name="HATS performance breakdown",
         paper_reference="Fig. 21",

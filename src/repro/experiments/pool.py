@@ -1,0 +1,529 @@
+"""Parallel, cache-aware, resumable execution of experiment sweeps.
+
+The paper's evaluation is dozens of *independent* simulator runs
+(figure grids, sensitivity sweeps, ablations). This module turns each
+sweep into a flat list of :class:`RunSpec` entries -- one simulator
+execution each -- and executes them on a worker pool:
+
+- ``jobs=1`` runs specs inline in this process (the default for direct
+  calls from tests and benchmarks); ``jobs>1`` fans out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.
+- Every spec is content-hashed (function path + canonicalized kwargs +
+  the armed fault plan); completed results are written to
+  ``<cache-dir>/<hash>.json`` so re-runs and overlapping sweeps are
+  free (Figs. 20 and 21 share the HATS study through the cache rather
+  than through ad-hoc memoization).
+- An append-only ``<cache-dir>/manifest.jsonl`` journals every spec as
+  it completes, so an interrupted sweep resumes with ``resume=True`` by
+  skipping hashes the journal already records (a truncated final line
+  -- the signature of a kill mid-write -- is tolerated and ignored).
+- A crashed spec is recorded in the manifest (and as
+  ``runs/<slug>/error.json`` when an artifact directory is configured),
+  the rest of the sweep still executes, and
+  :meth:`ExperimentPool.run_results` raises
+  :class:`IncompleteSweepError` at the end so the CLI exits nonzero.
+
+Determinism is load-bearing: specs are pure functions of their kwargs,
+results are assembled in *spec order* (never completion order), and the
+float payloads survive the JSON cache bit-exactly (``repr`` round-trip),
+so a ``jobs=8`` sweep produces bit-identical figure data to ``jobs=1``.
+``tests/test_pool.py`` enforces this.
+"""
+
+import hashlib
+import importlib
+import json
+import os
+import re
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.workloads.common import RunResult, StudyResult
+
+#: Bump when the cached-payload layout changes; old entries then miss.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# specs and content hashing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulator execution: a function path plus its kwargs.
+
+    ``fn`` is a ``"package.module:function"`` path resolved inside the
+    worker, so a spec survives pickling into a subprocess and hashing
+    into the cache. ``kwargs`` must be JSON-canonicalizable (dicts,
+    lists/tuples, strings, numbers, bools, None). ``label`` is a
+    human-readable sweep-local name used in the manifest and artifact
+    directories; it is *excluded* from the content hash so overlapping
+    sweeps that enumerate the same computation share a cache entry.
+    """
+
+    fn: str
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-safe types (tuples->lists, numpy->python)."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return _canonical(value.item())
+    raise TypeError(f"value {value!r} cannot be canonicalized for a RunSpec")
+
+
+def canonical_json(payload):
+    """The canonical encoding hashed by :func:`spec_hash`."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec, faults=None):
+    """Content hash of one spec (label excluded, fault plan included)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "fn": spec.fn,
+        "kwargs": _canonical(spec.kwargs),
+        "faults": faults or None,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization
+# ----------------------------------------------------------------------
+def encode_result(result):
+    """A JSON-safe payload for a spec's return value.
+
+    :class:`~repro.workloads.common.RunResult` is encoded field by field
+    (tuple-keyed access profiles become triples); any other value must
+    itself be JSON-canonicalizable.
+    """
+    if isinstance(result, RunResult):
+        try:
+            output = _canonical(result.output)
+        except TypeError:
+            output = None  # non-serializable workload output: drop it
+        return {
+            "kind": "run_result",
+            "name": result.name,
+            "cycles": result.cycles,
+            "energy_pj": result.energy_pj,
+            "stats": _canonical(result.stats),
+            "output": output,
+            "functional": result.functional,
+            "notes": result.notes,
+            "energy_breakdown": _canonical(result.energy_breakdown),
+            "access_profile": [
+                [level, outcome, count]
+                for (level, outcome), count in result.access_profile.items()
+            ],
+        }
+    return {"kind": "value", "value": _canonical(result)}
+
+
+def decode_result(payload):
+    """Inverse of :func:`encode_result`."""
+    if payload["kind"] == "value":
+        return payload["value"]
+    return RunResult(
+        name=payload["name"],
+        cycles=payload["cycles"],
+        energy_pj=payload["energy_pj"],
+        stats=payload["stats"],
+        output=payload["output"],
+        functional=payload["functional"],
+        notes=payload["notes"],
+        energy_breakdown=payload["energy_breakdown"],
+        access_profile={
+            (level, outcome): count
+            for level, outcome, count in payload["access_profile"]
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker (runs inline for jobs=1, in a subprocess otherwise)
+# ----------------------------------------------------------------------
+def _execute_job(job):
+    """Execute one spec; never raises -- errors become the outcome."""
+    started = time.perf_counter()
+    outcome = {
+        "hash": job["hash"],
+        "label": job["label"],
+        "fn": job["fn"],
+        "status": "ok",
+        "telemetry_machines": 0,
+        "faults_injected": 0,
+    }
+    telemetry_session = None
+    fault_session = None
+    try:
+        module_name, _, fn_name = job["fn"].partition(":")
+        fn = getattr(importlib.import_module(module_name), fn_name)
+        if job.get("faults"):
+            from repro.sim.faults import FaultSession
+
+            fault_session = FaultSession(job["faults"]).install()
+        if job.get("telemetry"):
+            from repro.sim.telemetry import TelemetrySession
+
+            telemetry_session = TelemetrySession().install()
+        try:
+            result = fn(**job["kwargs"])
+        finally:
+            if telemetry_session is not None:
+                telemetry_session.uninstall()
+            if fault_session is not None:
+                fault_session.uninstall()
+        outcome["result"] = encode_result(result)
+    except Exception as exc:
+        outcome["status"] = "error"
+        outcome["error"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+    # Per-run artifacts (telemetry traces, fault reports) are written by
+    # the worker -- it owns the sessions; partial artifacts from a
+    # crashed run are kept for debugging.
+    artifacts = job.get("artifacts")
+    if artifacts is not None:
+        try:
+            if telemetry_session is not None and telemetry_session.telemetries:
+                telemetry_session.save(artifacts)
+                outcome["telemetry_machines"] = len(telemetry_session.telemetries)
+            if fault_session is not None and fault_session.controllers:
+                fault_session.save(artifacts)
+        except Exception as exc:  # artifact IO must not eat the result
+            outcome["artifact_error"] = f"{type(exc).__name__}: {exc}"
+    if fault_session is not None:
+        outcome["faults_injected"] = fault_session.total_injected
+    outcome["elapsed"] = time.perf_counter() - started
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class IncompleteSweepError(RuntimeError):
+    """Some specs of a sweep failed; the rest completed and are cached."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        lines = [
+            f"{f['label']}: {f['error']['type']}: {f['error']['message']}"
+            for f in failures
+        ]
+        super().__init__(
+            f"{len(failures)} run(s) of the sweep failed:\n" + "\n".join(lines)
+        )
+
+
+class ExperimentPool:
+    """Executes :class:`RunSpec` lists with caching, resume, and fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (or a single pending spec) executes
+        inline; ``None`` means ``os.cpu_count()``.
+    cache_dir:
+        Root of the result cache and manifest journal. ``None`` disables
+        all disk state (results are still memoized in-process).
+    cache:
+        When False, existing ``<hash>.json`` entries are ignored and no
+        new ones are written (the manifest is still journaled).
+    resume:
+        Load the manifest and serve every spec it records as ``ok`` from
+        its cache entry -- even when ``cache=False`` -- so an interrupted
+        sweep re-executes only what is missing.
+    telemetry_dir:
+        When set, every executed spec captures telemetry (and its fault
+        report / error report) under ``<telemetry_dir>/runs/<slug>/``.
+        Artifact capture forces execution: cached results carry no
+        fresh traces, so cache *reads* are skipped (writes still happen).
+    faults:
+        A fault-plan spec string armed on every machine each worker
+        builds. Part of the content hash -- faulted results never
+        collide with clean ones.
+    """
+
+    def __init__(
+        self,
+        jobs=None,
+        cache_dir="results-cache",
+        cache=True,
+        resume=False,
+        telemetry_dir=None,
+        faults=None,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache_dir = cache_dir
+        self.cache = bool(cache and cache_dir)
+        self.telemetry_dir = telemetry_dir
+        self.faults = faults
+        #: Outcomes of every failed spec across the pool's lifetime.
+        self.failures = []
+        self._memory = {}
+        self._report = {}
+        self._resumed = self._load_manifest() if (resume and cache_dir) else set()
+
+    # -- journal and cache ---------------------------------------------
+    def _manifest_path(self):
+        return os.path.join(self.cache_dir, "manifest.jsonl")
+
+    def _load_manifest(self):
+        """Hashes recorded ``ok``; tolerates a truncated final line."""
+        done = set()
+        try:
+            with open(self._manifest_path()) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # killed mid-append; the run is not done
+                    if entry.get("status") == "ok":
+                        done.add(entry.get("hash"))
+        except FileNotFoundError:
+            pass
+        return done
+
+    def _append_manifest(self, outcome, cached):
+        if not self.cache_dir:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._heal_torn_manifest()
+        entry = {
+            "hash": outcome["hash"],
+            "label": outcome["label"],
+            "fn": outcome["fn"],
+            "status": outcome["status"],
+            "elapsed": outcome.get("elapsed", 0.0),
+            "cached": cached,
+        }
+        if outcome["status"] != "ok":
+            entry["error"] = {
+                "type": outcome["error"]["type"],
+                "message": outcome["error"]["message"],
+            }
+        with open(self._manifest_path(), "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    def _heal_torn_manifest(self):
+        """Terminate a torn final line (kill mid-append) before appending.
+
+        Without this, the first append of a resumed sweep would glue its
+        JSON onto the torn fragment and corrupt one more entry.
+        """
+        if getattr(self, "_manifest_healed", False):
+            return
+        self._manifest_healed = True
+        try:
+            with open(self._manifest_path(), "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+        except FileNotFoundError:
+            pass
+
+    def _cache_path(self, digest):
+        return os.path.join(self.cache_dir, digest + ".json")
+
+    def _load_cached(self, digest):
+        if self.telemetry_dir:  # artifacts require a fresh execution
+            return None
+        if not self.cache_dir or not (self.cache or digest in self._resumed):
+            return None
+        try:
+            with open(self._cache_path(digest)) as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return None
+        return payload if payload.get("status") == "ok" else None
+
+    def _store_cached(self, outcome):
+        if not self.cache or outcome["status"] != "ok":
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(outcome["hash"])
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(outcome, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)  # atomic: a kill never leaves a torn entry
+
+    # -- execution ------------------------------------------------------
+    def _job(self, spec, digest):
+        job = {
+            "fn": spec.fn,
+            "kwargs": spec.kwargs,
+            "hash": digest,
+            "label": spec.label or spec.fn,
+        }
+        if self.faults:
+            job["faults"] = self.faults
+        if self.telemetry_dir:
+            job["telemetry"] = True
+            job["artifacts"] = self.run_dir(digest, job["label"])
+        return job
+
+    def run_dir(self, digest, label):
+        """Artifact directory for one run under the telemetry root."""
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-")[:60]
+        return os.path.join(self.telemetry_dir, "runs", f"{slug}-{digest[:12]}")
+
+    def run(self, specs):
+        """Execute ``specs``; returns raw outcome dicts in spec order.
+
+        Every spec executes (or is served from cache) even when others
+        fail; failures are journaled and collected on ``self.failures``.
+        """
+        specs = list(specs)
+        order = []
+        pending = []
+        queued = set()
+        for spec in specs:
+            digest = spec_hash(spec, self.faults)
+            order.append(digest)
+            if digest in self._memory or digest in queued:
+                continue
+            cached = self._load_cached(digest)
+            if cached is not None:
+                self._memory[digest] = cached
+                self._bump("cached")
+                self._append_manifest(cached, cached=True)
+                continue
+            queued.add(digest)
+            pending.append(self._job(spec, digest))
+        self._execute(pending)
+        return [self._memory[digest] for digest in order]
+
+    def run_results(self, specs):
+        """Execute ``specs`` and decode their results, in spec order.
+
+        Raises :class:`IncompleteSweepError` after the whole sweep has
+        run if any spec failed.
+        """
+        outcomes = self.run(specs)
+        failed = [o for o in outcomes if o["status"] != "ok"]
+        if failed:
+            raise IncompleteSweepError(failed)
+        return [decode_result(o["result"]) for o in outcomes]
+
+    def _execute(self, pending):
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for job in pending:
+                self._finish(_execute_job(job))
+            return
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {executor.submit(_execute_job, job): job for job in pending}
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # the worker process itself died
+                    outcome = {
+                        "hash": job["hash"],
+                        "label": job["label"],
+                        "fn": job["fn"],
+                        "status": "error",
+                        "elapsed": 0.0,
+                        "telemetry_machines": 0,
+                        "faults_injected": 0,
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                            "traceback": "",
+                        },
+                    }
+                self._finish(outcome)
+
+    def _finish(self, outcome):
+        self._memory[outcome["hash"]] = outcome
+        self._bump("executed")
+        self._bump("telemetry_machines", outcome.get("telemetry_machines", 0))
+        self._bump("faults_injected", outcome.get("faults_injected", 0))
+        if outcome["status"] == "ok":
+            self._store_cached(outcome)
+        else:
+            self._bump("failed")
+            self.failures.append(outcome)
+            self._write_error_artifact(outcome)
+        self._append_manifest(outcome, cached=False)
+
+    def _write_error_artifact(self, outcome):
+        if not self.telemetry_dir:
+            return
+        run_dir = self.run_dir(outcome["hash"], outcome["label"])
+        os.makedirs(run_dir, exist_ok=True)
+        with open(os.path.join(run_dir, "error.json"), "w") as handle:
+            json.dump(
+                {
+                    "label": outcome["label"],
+                    "fn": outcome["fn"],
+                    "hash": outcome["hash"],
+                    "error": outcome["error"]["type"],
+                    "message": outcome["error"]["message"],
+                    "traceback": outcome["error"]["traceback"],
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+    # -- reporting ------------------------------------------------------
+    def _bump(self, key, amount=1):
+        if amount:
+            self._report[key] = self._report.get(key, 0) + amount
+
+    def consume_report(self):
+        """Counters accumulated since the last call (executed/cached/...)."""
+        report, self._report = self._report, {}
+        return report
+
+
+# ----------------------------------------------------------------------
+# assembly helpers and the shared default pool
+# ----------------------------------------------------------------------
+def run_study(pool, name, baseline, specs, params=None):
+    """Run a study's variant specs and rebuild its ``StudyResult``."""
+    study = StudyResult(study=name, baseline=baseline, params=params or {})
+    for result in pool.run_results(specs):
+        study.add(result)
+    return study
+
+
+_default_pool = None
+
+
+def default_pool():
+    """Process-wide inline pool for direct runner calls (``pool=None``).
+
+    No disk state -- results are memoized in memory only, which is what
+    lets Figs. 20 and 21 share one HATS study when called back to back
+    (replacing the old module-global memo in ``figures.py``).
+    """
+    global _default_pool
+    if _default_pool is None:
+        _default_pool = ExperimentPool(jobs=1, cache_dir=None)
+    return _default_pool

@@ -1,5 +1,6 @@
 """Experiment plumbing shared by every table/figure module."""
 
+import inspect
 from dataclasses import dataclass, field
 
 
@@ -127,10 +128,30 @@ class ExperimentRegistry:
     def describe(self):
         return {name: desc for name, (_, desc) in self._runners.items()}
 
-    def run(self, name, **kwargs):
+    def run(self, name, pool=None, **kwargs):
+        """Run one registered experiment.
+
+        ``pool`` is an :class:`~repro.experiments.pool.ExperimentPool`
+        shared across the whole CLI invocation so overlapping specs are
+        executed once. It is forwarded only to runners that declare a
+        ``pool`` parameter — ad-hoc runners (tests register plain
+        callables) keep working unchanged.
+        """
         if name not in self._runners:
             raise KeyError(
                 f"unknown experiment {name!r}; known: {', '.join(self.names())}"
             )
         runner, _ = self._runners[name]
+        if pool is not None and _accepts_pool(runner):
+            kwargs["pool"] = pool
         return runner(**kwargs)
+
+
+def _accepts_pool(runner):
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+    return "pool" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )

@@ -2,11 +2,23 @@
 
 Smaller workload instances than the headline figures (each point is a
 full simulation), with the knee positions checked rather than absolute
-factors.
+factors. Every point is enumerated as a
+:class:`~repro.experiments.pool.RunSpec` and executed on the experiment
+pool, so a sweep parallelizes across its points under ``--jobs N`` and
+overlapping points are served from the result cache. Config surgery
+the sweeps used to do by monkey-patching workload modules (the fixed
+mid-sized LLC of Fig. 23, the pinned table size of Fig. 24) now
+travels *inside* the spec as ``config_overrides`` / ``table_bytes``
+kwargs, so a point is reproducible from its spec alone.
 """
 
+from repro.experiments.pool import RunSpec, default_pool
 from repro.experiments.runner import Experiment
-from repro.workloads import hashtable, phi
+from repro.workloads import hashtable
+
+_PHI = "repro.workloads.phi:"
+_HT = "repro.workloads.hashtable:"
+_HATS = "repro.workloads.hats:"
 
 #: Reduced PHI instance for the invoke-buffer sweep (5 full runs).
 _PHI_SWEEP_PARAMS = dict(n_vertices=2048, n_edges=16384, n_threads=16, seed=7)
@@ -17,21 +29,42 @@ _HATS_SWEEP_PARAMS = dict(
 #: Reduced hash-table instance for the input-size / system-size sweeps.
 _HT_SWEEP_PARAMS = dict(nodes_per_bucket=32, n_threads=16, lookups_per_thread=48)
 
+#: Fig. 23 holds the LLC at a mid size so the circular buffer's
+#: footprint is not itself a capacity effect (in the paper's 8 MB LLC a
+#: <=2 KB buffer is invisible; in the micro-scaled hierarchy it would
+#: not be).
+_FIG23_LLC_OVERRIDES = {
+    "llc.size_kb": 4,
+    "llc.ways": 8,
+    "llc.tag_latency": 3,
+    "llc.data_latency": 5,
+    "llc.replacement": "rrip",
+}
 
-def run_fig22(buffer_sizes=(1, 2, 4, 8, 16), params=None):
+
+def run_fig22(buffer_sizes=(1, 2, 4, 8, 16), params=None, pool=None):
     """Invoke-buffer sensitivity with PHI (Fig. 22).
 
     Paper: one or two entries slow Leviathan through queueing
     backpressure; performance plateaus after four.
     """
+    pool = pool or default_pool()
     exp = Experiment(
         name="Invoke-buffer sensitivity (PHI)",
         paper_reference="Fig. 22",
         notes="Paper: slow with 1-2 entries, plateau at >= 4.",
     )
+    sweep_params = params or _PHI_SWEEP_PARAMS
+    specs = [
+        RunSpec(
+            _PHI + "run_leviathan",
+            {"params": sweep_params, "invoke_buffer": entries},
+            f"fig22/buf{entries}",
+        )
+        for entries in buffer_sizes
+    ]
     cycles = {}
-    for entries in buffer_sizes:
-        result = phi.run_leviathan(params or _PHI_SWEEP_PARAMS, invoke_buffer=entries)
+    for entries, result in zip(buffer_sizes, pool.run_results(specs)):
         cycles[entries] = result.cycles
         exp.add_row(
             invoke_buffer_entries=entries,
@@ -55,48 +88,37 @@ def run_fig22(buffer_sizes=(1, 2, 4, 8, 16), params=None):
     return exp
 
 
-def run_fig23(buffer_sizes=(16, 32, 64, 128), params=None):
+def run_fig23(buffer_sizes=(16, 32, 64, 128), params=None, pool=None):
     """Stream-buffer sensitivity with HATS (Fig. 23).
 
     Paper: performance plateaus at 64 entries; the buffer lives in
-    memory, so its capacity is free. The sweep uses a mid-sized LLC so
-    the circular buffer's footprint is not itself a capacity effect (in
-    the paper's 8 MB LLC a <=2 KB buffer is invisible; in the micro-
-    scaled hierarchy it would not be).
+    memory, so its capacity is free.
     """
-    from repro.sim.config import CacheConfig
-
-    import repro.workloads.hats as hats_module
-
+    pool = pool or default_pool()
     exp = Experiment(
         name="Stream-buffer sensitivity (HATS)",
         paper_reference="Fig. 23",
         notes="Paper: plateau at 64 entries.",
     )
-    original_config = hats_module.hats_config
-
-    def sweep_config(n_tiles=16, ideal=False):
-        cfg = original_config(n_tiles, ideal)
-        cfg.llc = CacheConfig(
-            size_kb=4, ways=8, tag_latency=3, data_latency=5, replacement="rrip"
-        )
-        return cfg
-
-    cycles = {}
-    try:
-        hats_module.hats_config = sweep_config
-        for entries in buffer_sizes:
-            sweep_params = dict(params or _HATS_SWEEP_PARAMS)
-            sweep_params["stream_buffer"] = entries
-            result = hats_module.run_leviathan(sweep_params)
-            cycles[entries] = result.cycles
-            exp.add_row(
-                stream_buffer_entries=entries,
-                cycles=result.cycles,
-                consume_blocks=result.stat("stream.consume_blocks"),
+    specs = []
+    for entries in buffer_sizes:
+        sweep_params = dict(params or _HATS_SWEEP_PARAMS)
+        sweep_params["stream_buffer"] = entries
+        specs.append(
+            RunSpec(
+                _HATS + "run_leviathan",
+                {"params": sweep_params, "config_overrides": _FIG23_LLC_OVERRIDES},
+                f"fig23/buf{entries}",
             )
-    finally:
-        hats_module.hats_config = original_config
+        )
+    cycles = {}
+    for entries, result in zip(buffer_sizes, pool.run_results(specs)):
+        cycles[entries] = result.cycles
+        exp.add_row(
+            stream_buffer_entries=entries,
+            cycles=result.cycles,
+            consume_blocks=result.stat("stream.consume_blocks"),
+        )
     for row in exp.rows:
         row["relative_performance"] = cycles[64] / row["cycles"]
     exp.expect(
@@ -117,7 +139,7 @@ def run_fig23(buffer_sizes=(16, 32, 64, 128), params=None):
     return exp
 
 
-def run_fig24(bucket_counts=(16, 32, 64, 128, 256), params=None):
+def run_fig24(bucket_counts=(16, 32, 64, 128, 256), params=None, pool=None):
     """Input-size sensitivity with hash-table lookups (Fig. 24).
 
     The LLC is held at the size chosen for the default (64-bucket)
@@ -125,47 +147,55 @@ def run_fig24(bucket_counts=(16, 32, 64, 128, 256), params=None):
     while the data fits the LLC, then drops as DRAM latency swamps the
     NoC savings.
     """
+    pool = pool or default_pool()
     exp = Experiment(
         name="Input-size sensitivity (hash table)",
         paper_reference="Fig. 24",
         notes="Paper: speedup holds while the table fits the LLC, drops beyond.",
     )
     reference = dict(params or _HT_SWEEP_PARAMS)
-    reference.setdefault("n_buckets", 64)
     reference["n_buckets"] = 64
     reference["object_size"] = 64
     fixed_table_bytes = hashtable._padded_table_bytes(
         {**hashtable.DEFAULT_PARAMS, **reference}
     )
 
-    import repro.workloads.hashtable as ht_module
-
-    original_config = ht_module.hashtable_config
-
-    def fixed_config(n_tiles=16, ideal=False, table_bytes=None):
-        return original_config(n_tiles=n_tiles, ideal=ideal, table_bytes=fixed_table_bytes)
+    specs = []
+    point_params = []
+    for n_buckets in bucket_counts:
+        p = dict(reference)
+        p["n_buckets"] = n_buckets
+        point_params.append(p)
+        specs.append(
+            RunSpec(
+                _HT + "run_baseline",
+                {"params": p, "table_bytes": fixed_table_bytes},
+                f"fig24/{n_buckets}buckets/baseline",
+            )
+        )
+        specs.append(
+            RunSpec(
+                _HT + "run_leviathan",
+                {"params": p, "table_bytes": fixed_table_bytes},
+                f"fig24/{n_buckets}buckets/leviathan",
+            )
+        )
+    results = pool.run_results(specs)
 
     speedups = {}
-    try:
-        ht_module.hashtable_config = fixed_config
-        for n_buckets in bucket_counts:
-            params = dict(reference)
-            params["n_buckets"] = n_buckets
-            base = ht_module.run_baseline(params)
-            lev = ht_module.run_leviathan(params)
-            speedup = lev.speedup_over(base)
-            speedups[n_buckets] = speedup
-            exp.add_row(
-                n_buckets=n_buckets,
-                table_kb=hashtable._padded_table_bytes(
-                    {**hashtable.DEFAULT_PARAMS, **params}
-                )
-                / 1024,
-                speedup=speedup,
-                lev_dram=lev.stat("dram.accesses"),
+    for i, n_buckets in enumerate(bucket_counts):
+        base, lev = results[2 * i], results[2 * i + 1]
+        speedup = lev.speedup_over(base)
+        speedups[n_buckets] = speedup
+        exp.add_row(
+            n_buckets=n_buckets,
+            table_kb=hashtable._padded_table_bytes(
+                {**hashtable.DEFAULT_PARAMS, **point_params[i]}
             )
-    finally:
-        ht_module.hashtable_config = original_config
+            / 1024,
+            speedup=speedup,
+            lev_dram=lev.stat("dram.accesses"),
+        )
 
     in_cache = [speedups[b] for b in bucket_counts if b <= 64]
     beyond = speedups[max(bucket_counts)]
@@ -179,25 +209,42 @@ def run_fig24(bucket_counts=(16, 32, 64, 128, 256), params=None):
     return exp
 
 
-def run_fig25(tile_counts=(4, 8, 16, 32, 64), params=None):
+def run_fig25(tile_counts=(4, 8, 16, 32, 64), params=None, pool=None):
     """System-size sensitivity with hash-table lookups (Fig. 25).
 
     Paper: Leviathan performs even better with larger systems because
     the NoC savings grow with mesh diameter.
     """
+    pool = pool or default_pool()
     exp = Experiment(
         name="System-size sensitivity (hash table)",
         paper_reference="Fig. 25",
         notes="Paper: speedup grows with tile count.",
     )
-    speedups = {}
+    specs = []
     for n_tiles in tile_counts:
         sweep_params = dict(params or _HT_SWEEP_PARAMS)
         sweep_params.setdefault("n_buckets", 64)
         sweep_params.setdefault("object_size", 64)
         sweep_params["n_threads"] = n_tiles
-        base = hashtable.run_baseline(sweep_params, n_tiles=n_tiles)
-        lev = hashtable.run_leviathan(sweep_params, n_tiles=n_tiles)
+        specs.append(
+            RunSpec(
+                _HT + "run_baseline",
+                {"params": sweep_params, "n_tiles": n_tiles},
+                f"fig25/{n_tiles}tiles/baseline",
+            )
+        )
+        specs.append(
+            RunSpec(
+                _HT + "run_leviathan",
+                {"params": sweep_params, "n_tiles": n_tiles},
+                f"fig25/{n_tiles}tiles/leviathan",
+            )
+        )
+    results = pool.run_results(specs)
+    speedups = {}
+    for i, n_tiles in enumerate(tile_counts):
+        base, lev = results[2 * i], results[2 * i + 1]
         speedups[n_tiles] = lev.speedup_over(base)
         exp.add_row(
             n_tiles=n_tiles,

@@ -1,4 +1,9 @@
-"""Tables I-V: taxonomy, actions, microarchitecture support, area, config."""
+"""Tables I-V: taxonomy, actions, microarchitecture support, area, config.
+
+These runners are analytic (no simulation), so they never submit work
+to the experiment pool; they still accept ``pool=None`` so the registry
+can drive every experiment through one uniform interface.
+"""
 
 from repro import taxonomy
 from repro.core.area import AreaModel
@@ -6,7 +11,7 @@ from repro.experiments.runner import Experiment
 from repro.sim.config import SystemConfig
 
 
-def run_table1():
+def run_table1(pool=None):
     exp = Experiment(
         name="NDC taxonomy",
         paper_reference="Table I",
@@ -26,7 +31,7 @@ def run_table1():
     return exp
 
 
-def run_table2():
+def run_table2(pool=None):
     exp = Experiment(name="Actions per paradigm", paper_reference="Table II")
     for name, actions in taxonomy.table2():
         exp.add_row(paradigm=name, actions=actions)
@@ -40,7 +45,7 @@ def run_table2():
     return exp
 
 
-def run_table3():
+def run_table3(pool=None):
     exp = Experiment(
         name="Per-paradigm microarchitecture support", paper_reference="Table III"
     )
@@ -50,7 +55,7 @@ def run_table3():
     return exp
 
 
-def run_table4():
+def run_table4(pool=None):
     model = AreaModel()
     exp = Experiment(
         name="Hardware overhead per LLC bank",
@@ -68,7 +73,7 @@ def run_table4():
     return exp
 
 
-def run_table5():
+def run_table5(pool=None):
     cfg = SystemConfig()
     exp = Experiment(
         name="System parameters", paper_reference="Table V",

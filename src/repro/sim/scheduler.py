@@ -63,7 +63,7 @@ class Scheduler:
         #: operations tolerated before declaring a no-progress cycle.
         #: Counted inside ``_step`` because a single spinning context
         #: with an empty heap never returns to the outer loop.
-        self.watchdog_steps = getattr(machine.config, "watchdog_steps", 0) or 0
+        self.watchdog_steps = machine.config.watchdog_steps or 0
         self._no_progress_ops = 0
 
     # ------------------------------------------------------------------

@@ -215,11 +215,27 @@ def _padded_table_bytes(p):
     return p["n_buckets"] * p["nodes_per_bucket"] * padded
 
 
-def run_baseline(params=None, n_tiles=16):
+def _make_config(p, n_tiles, ideal=False, table_bytes=None, config_overrides=None):
+    """Build the study config; ``table_bytes``/``config_overrides`` let
+    sweeps (Figs. 24-25, the near-memory ablation) pin the hierarchy or
+    flip runtime knobs through plain data, so a run is fully described
+    by its keyword arguments (the experiment pool relies on this)."""
+    cfg = hashtable_config(
+        n_tiles=n_tiles,
+        ideal=ideal,
+        table_bytes=table_bytes or _padded_table_bytes(p),
+    )
+    if config_overrides:
+        cfg = cfg.scaled(**config_overrides)
+    return cfg
+
+
+def run_baseline(params=None, n_tiles=16, table_bytes=None, config_overrides=None):
     p = dict(DEFAULT_PARAMS)
     p.update(params or {})
-    table_bytes = _padded_table_bytes(p)
-    machine = Machine(hashtable_config(n_tiles=n_tiles, table_bytes=table_bytes))
+    machine = Machine(
+        _make_config(p, n_tiles, table_bytes=table_bytes, config_overrides=config_overrides)
+    )
     profile = AccessProfile(machine)
     table = _Table(machine, None, p)
     results = []
@@ -253,13 +269,22 @@ def _leviathan_thread(table, keys, results, tile):
 
 
 def _run_leviathan_variant(
-    name, params=None, n_tiles=16, ideal=False, padding=True, llc_mapping=True
+    name,
+    params=None,
+    n_tiles=16,
+    ideal=False,
+    padding=True,
+    llc_mapping=True,
+    table_bytes=None,
+    config_overrides=None,
 ):
     p = dict(DEFAULT_PARAMS)
     p.update(params or {})
-    table_bytes = _padded_table_bytes(p)
     machine = Machine(
-        hashtable_config(n_tiles=n_tiles, ideal=ideal, table_bytes=table_bytes)
+        _make_config(
+            p, n_tiles, ideal=ideal, table_bytes=table_bytes,
+            config_overrides=config_overrides,
+        )
     )
     profile = AccessProfile(machine)
     runtime = Leviathan(machine)
@@ -276,9 +301,16 @@ def _run_leviathan_variant(
     return finish_run(machine, name, output=sum(results), profile=profile)
 
 
-def run_leviathan(params=None, n_tiles=16, ideal=False):
+def run_leviathan(
+    params=None, n_tiles=16, ideal=False, table_bytes=None, config_overrides=None
+):
     return _run_leviathan_variant(
-        "ideal" if ideal else "leviathan", params, n_tiles=n_tiles, ideal=ideal
+        "ideal" if ideal else "leviathan",
+        params,
+        n_tiles=n_tiles,
+        ideal=ideal,
+        table_bytes=table_bytes,
+        config_overrides=config_overrides,
     )
 
 

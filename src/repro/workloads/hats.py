@@ -439,8 +439,13 @@ def _leviathan_edges(data, stream):
     yield from data.flush_accum(accum)
 
 
-def run_leviathan(params=None, ideal=False, n_tiles=16):
-    machine = Machine(hats_config(n_tiles=n_tiles, ideal=ideal))
+def run_leviathan(params=None, ideal=False, n_tiles=16, config_overrides=None):
+    cfg = hats_config(n_tiles=n_tiles, ideal=ideal)
+    if config_overrides:
+        # Dotted-key overrides (e.g. a mid-sized LLC for the Fig. 23
+        # stream-buffer sweep) so sweeps describe configs as plain data.
+        cfg = cfg.scaled(**config_overrides)
+    machine = Machine(cfg)
     runtime = Leviathan(machine)
     data = _HatsData(machine, params)
     streams = []

@@ -7,6 +7,16 @@ from repro.sim.config import SystemConfig, small_config
 from repro.sim.system import Machine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_results_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test tmp dir.
+
+    Keeps ``cli.main(...)`` calls in tests from writing a
+    ``results-cache/`` directory into the repository working tree.
+    """
+    monkeypatch.setenv("LEVIATHAN_CACHE_DIR", str(tmp_path / "results-cache"))
+
+
 @pytest.fixture
 def config():
     """A small 4-tile machine configuration for unit tests."""

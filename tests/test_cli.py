@@ -67,7 +67,8 @@ class TestTelemetryCli:
         assert "telemetry:" in capsys.readouterr().out
         # The session must not leak past the run.
         assert active_session() is None
-        runs = sorted((outdir / "ablation-mc-cache").glob("machine-*"))
+        # One artifact directory per simulation run, machine dirs inside.
+        runs = sorted((outdir / "runs").glob("*/machine-*"))
         assert runs
         for run in runs:
             assert (run / "metrics.json").exists()
@@ -117,11 +118,12 @@ class TestFaultsCli:
         assert "faults:" in out
         # The session must not leak past the run.
         assert active_session() is None
-        report_path = outdir / "ablation-mc-cache" / "fault_report.json"
-        assert report_path.exists()
-        report = json.loads(report_path.read_text())
-        assert report["seed"] == 3
-        assert report["machines"]
+        report_paths = sorted(outdir.glob("runs/*/fault_report.json"))
+        assert report_paths
+        for report_path in report_paths:
+            report = json.loads(report_path.read_text())
+            assert report["seed"] == 3
+            assert report["machines"]
 
     def test_faults_without_telemetry_dir(self, capsys):
         assert (

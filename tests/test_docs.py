@@ -1,0 +1,57 @@
+"""Documentation hygiene: links resolve, README indexes every docs page.
+
+CI runs this as the docs job; it keeps the markdown link graph honest
+as files move.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) with an optional #fragment.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)]*)?\)")
+
+_DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda p: str(p),
+)
+
+
+def _links(path):
+    found = []
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        found.append(target)
+    return found
+
+
+@pytest.mark.parametrize("doc", _DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO)} has broken links: {broken}"
+
+
+def test_readme_links_every_docs_page():
+    readme_targets = {
+        (REPO / target).resolve() for target in _links(REPO / "README.md")
+    }
+    missing = [
+        page.name
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.resolve() not in readme_targets
+    ]
+    assert not missing, f"docs pages not linked from README.md: {missing}"
+
+
+def test_docs_exist():
+    for name in ("experiments.md", "architecture.md"):
+        assert (REPO / "docs" / name).exists()
