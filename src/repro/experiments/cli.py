@@ -19,6 +19,19 @@ trace + metrics snapshot) for every machine each run builds, under
 every run (chaos runs); a run that raises makes the sweep exit
 nonzero, with the exception and fault report written into the
 telemetry directory when one is given.
+
+``--profile DIR`` runs every pool execution under the
+:class:`~repro.perf.profile.ProfileHarness`, dropping ``profile.json``,
+``profile.pstats``, and ``stacks.folded`` beside each run's telemetry
+artifacts.
+
+``leviathan-repro bench`` runs the host-performance lab
+(:mod:`repro.perf`): the registered micro/macro benchmarks with
+``--trials``/``--warmup``, writing ``BENCH_<git-sha>.json`` into
+``--out``. ``bench --compare BASELINE`` additionally renders a
+noise-aware verdict table against a baseline file (nonzero exit on a
+regression); ``bench --compare OLD NEW`` compares two recorded files
+without running anything. See ``docs/performance.md``.
 """
 
 import argparse
@@ -73,7 +86,7 @@ def main(argv=None):
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', 'list' (default), or 'telemetry'",
+        help="experiment name, 'all', 'list' (default), 'telemetry', or 'bench'",
     )
     parser.add_argument(
         "target",
@@ -130,7 +143,61 @@ def main(argv=None):
         "'crash:1@2000; noc-delay:0.01@20; seed:7' "
         "(see repro.sim.faults for the grammar)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="profile every pool run (cProfile + collapsed stacks), "
+        "writing profile.json / profile.pstats / stacks.folded per run "
+        "under DIR (or beside --telemetry-out artifacts); for 'bench', "
+        "profile each benchmark once after its timed trials",
+    )
+    bench_group = parser.add_argument_group("bench (host-performance lab)")
+    bench_group.add_argument(
+        "--trials",
+        type=int,
+        default=5,
+        metavar="N",
+        help="timed trials per benchmark (default: 5)",
+    )
+    bench_group.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="N",
+        help="untimed warmup runs per benchmark (default: 1)",
+    )
+    bench_group.add_argument(
+        "--filter",
+        metavar="SUBSTR",
+        help="only run benchmarks whose name contains SUBSTR",
+    )
+    bench_group.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for the BENCH_<git-sha>.json history file "
+        "(default: current directory)",
+    )
+    bench_group.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="FILE",
+        help="one file: run the suite, then compare against this baseline; "
+        "two files: compare OLD NEW without running anything. "
+        "Exits nonzero on a regression.",
+    )
+    bench_group.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="regression threshold: median beyond F x baseline AND outside "
+        "the baseline IQR (default: 2.0)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench":
+        return _run_bench(args)
 
     if args.experiment == "list":
         for name in registry.names():
@@ -162,6 +229,7 @@ def main(argv=None):
         cache=not args.no_cache,
         resume=args.resume,
         telemetry_dir=args.telemetry_out,
+        profile_dir=args.profile,
         faults=args.faults,
     )
 
@@ -198,6 +266,11 @@ def main(argv=None):
             print(
                 f"faults: {report.get('faults_injected', 0)} injected over "
                 f"{executed} run(s)"
+            )
+        if args.profile:
+            print(
+                f"profiles: {report.get('profiled', 0)} run(s) -> "
+                f"{os.path.join(args.telemetry_out or args.profile, 'runs')}"
             )
         if executed or cached:
             print(
@@ -245,6 +318,79 @@ def main(argv=None):
     if failed:
         print(f"FAILED shape checks: {', '.join(failed)}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_bench(args):
+    """The ``bench`` subcommand: run, record, and/or compare benchmarks."""
+    from repro.perf import registry as bench_registry
+    from repro.perf.bench import render_results, run_benchmark
+    from repro.perf.compare import (
+        DEFAULT_FACTOR,
+        compare,
+        has_regression,
+        render_verdicts,
+    )
+    from repro.perf.history import bench_payload, load_history, write_history
+
+    factor = args.factor if args.factor is not None else DEFAULT_FACTOR
+    compare_paths = args.compare or []
+    if len(compare_paths) > 2:
+        print("usage: bench --compare BASELINE | --compare OLD NEW", file=sys.stderr)
+        return 2
+
+    if len(compare_paths) == 2:
+        # Pure file comparison: no benchmarks are executed.
+        old, new = (load_history(path) for path in compare_paths)
+        verdicts = compare(old, new, factor=factor)
+        print(render_verdicts(verdicts, factor=factor))
+        return 1 if has_regression(verdicts) else 0
+
+    benches = bench_registry.select(args.filter)
+    if not benches:
+        print(
+            f"no benchmarks match {args.filter!r}; "
+            f"known: {', '.join(bench_registry.names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    results = []
+    for bench in benches:
+        started = time.time()
+        result = run_benchmark(bench, trials=args.trials, warmup=args.warmup)
+        results.append(result)
+        print(
+            f"{bench.name}: median {result.median_s:.4f}s "
+            f"iqr {result.iqr_s:.4f}s "
+            f"{result.steps_per_sec:.0f} {result.unit}/s "
+            f"({time.time() - started:.1f}s total)"
+        )
+    print()
+    print(render_results(results))
+
+    payload = bench_payload(results, args.trials, args.warmup)
+    path = write_history(payload, out_dir=args.out)
+    print(f"wrote {path}")
+
+    if args.profile:
+        from repro.perf.profile import ProfileHarness
+
+        for bench in benches:
+            harness = ProfileHarness()
+            harness.run(bench.make())
+            outdir = harness.save(os.path.join(args.profile, bench.name))
+            print(f"profiled {bench.name} -> {outdir}")
+            if bench.kind == "macro":
+                print(harness.report.render(top=10))
+
+    if compare_paths:
+        baseline = load_history(compare_paths[0])
+        verdicts = compare(baseline, payload, factor=factor)
+        print()
+        print(render_verdicts(verdicts, factor=factor))
+        if has_regression(verdicts):
+            return 1
     return 0
 
 

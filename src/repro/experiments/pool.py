@@ -165,6 +165,7 @@ def _execute_job(job):
     }
     telemetry_session = None
     fault_session = None
+    profiler = None
     try:
         module_name, _, fn_name = job["fn"].partition(":")
         fn = getattr(importlib.import_module(module_name), fn_name)
@@ -176,8 +177,15 @@ def _execute_job(job):
             from repro.sim.telemetry import TelemetrySession
 
             telemetry_session = TelemetrySession().install()
+        if job.get("profile"):
+            from repro.perf.profile import ProfileHarness
+
+            profiler = ProfileHarness()
         try:
-            result = fn(**job["kwargs"])
+            if profiler is not None:
+                result = profiler.run(fn, **job["kwargs"])
+            else:
+                result = fn(**job["kwargs"])
         finally:
             if telemetry_session is not None:
                 telemetry_session.uninstall()
@@ -202,6 +210,9 @@ def _execute_job(job):
                 outcome["telemetry_machines"] = len(telemetry_session.telemetries)
             if fault_session is not None and fault_session.controllers:
                 fault_session.save(artifacts)
+            if profiler is not None and profiler.report is not None:
+                profiler.save(artifacts)
+                outcome["profiled"] = 1
         except Exception as exc:  # artifact IO must not eat the result
             outcome["artifact_error"] = f"{type(exc).__name__}: {exc}"
     if fault_session is not None:
@@ -250,6 +261,14 @@ class ExperimentPool:
         report / error report) under ``<telemetry_dir>/runs/<slug>/``.
         Artifact capture forces execution: cached results carry no
         fresh traces, so cache *reads* are skipped (writes still happen).
+    profile_dir:
+        When set, every executed spec runs under the
+        :class:`~repro.perf.profile.ProfileHarness` and drops
+        ``profile.json`` + ``profile.pstats`` + ``stacks.folded`` beside
+        its telemetry artifacts (or under ``<profile_dir>/runs/<slug>/``
+        when no telemetry directory is configured). Like telemetry
+        capture, profiling forces execution; the profiled results remain
+        bit-identical (the harness only observes).
     faults:
         A fault-plan spec string armed on every machine each worker
         builds. Part of the content hash -- faulted results never
@@ -263,12 +282,14 @@ class ExperimentPool:
         cache=True,
         resume=False,
         telemetry_dir=None,
+        profile_dir=None,
         faults=None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache_dir = cache_dir
         self.cache = bool(cache and cache_dir)
         self.telemetry_dir = telemetry_dir
+        self.profile_dir = profile_dir
         self.faults = faults
         #: Outcomes of every failed spec across the pool's lifetime.
         self.failures = []
@@ -345,8 +366,8 @@ class ExperimentPool:
         return os.path.join(self.cache_dir, digest + ".json")
 
     def _load_cached(self, digest):
-        if self.telemetry_dir:  # artifacts require a fresh execution
-            return None
+        if self.telemetry_dir or self.profile_dir:
+            return None  # artifacts require a fresh execution
         if not self.cache_dir or not (self.cache or digest in self._resumed):
             return None
         try:
@@ -379,13 +400,21 @@ class ExperimentPool:
             job["faults"] = self.faults
         if self.telemetry_dir:
             job["telemetry"] = True
+        if self.profile_dir:
+            job["profile"] = True
+        if self.telemetry_dir or self.profile_dir:
             job["artifacts"] = self.run_dir(digest, job["label"])
         return job
 
     def run_dir(self, digest, label):
-        """Artifact directory for one run under the telemetry root."""
+        """Artifact directory for one run under the artifact root.
+
+        Telemetry and profile artifacts share one directory per run; the
+        telemetry root wins when both are configured.
+        """
+        root = self.telemetry_dir or self.profile_dir
         slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-")[:60]
-        return os.path.join(self.telemetry_dir, "runs", f"{slug}-{digest[:12]}")
+        return os.path.join(root, "runs", f"{slug}-{digest[:12]}")
 
     def run(self, specs):
         """Execute ``specs``; returns raw outcome dicts in spec order.
@@ -463,6 +492,7 @@ class ExperimentPool:
         self._bump("executed")
         self._bump("telemetry_machines", outcome.get("telemetry_machines", 0))
         self._bump("faults_injected", outcome.get("faults_injected", 0))
+        self._bump("profiled", outcome.get("profiled", 0))
         if outcome["status"] == "ok":
             self._store_cached(outcome)
         else:
@@ -472,7 +502,7 @@ class ExperimentPool:
         self._append_manifest(outcome, cached=False)
 
     def _write_error_artifact(self, outcome):
-        if not self.telemetry_dir:
+        if not (self.telemetry_dir or self.profile_dir):
             return
         run_dir = self.run_dir(outcome["hash"], outcome["label"])
         os.makedirs(run_dir, exist_ok=True)

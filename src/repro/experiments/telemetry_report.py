@@ -22,6 +22,24 @@ def find_runs(root):
     return sorted(runs)
 
 
+def count_with_label(counters, name, label):
+    """Sum every ``name{...}`` counter series carrying ``label``.
+
+    Series keys are ``name{k="v",...}`` with sorted labels; matching the
+    full key literally would silently read 0 as soon as an extra label
+    (an engine id, a tile) is added to the family, so we match the base
+    name and membership of the one label we care about.
+    """
+    total = 0
+    for key, value in counters.items():
+        base, _brace, labels = key.partition("{")
+        if base != name:
+            continue
+        if label in labels.rstrip("}").split(","):
+            total += value
+    return total
+
+
 def summarize_run(run_dir):
     """The digest dict for one run directory (validates the trace)."""
     trace, problems = load_and_validate(os.path.join(run_dir, "trace.json"))
@@ -40,7 +58,9 @@ def summarize_run(run_dir):
         "spans_unclosed": meta.get("spans_unclosed", 0),
         "spans_dropped": meta.get("spans_dropped", 0),
         "invoke_latency": histograms.get("invoke.latency"),
-        "nacks": counters.get('engine.arrivals{outcome="nacked"}', 0),
+        "nacks": count_with_label(
+            counters, "engine.arrivals", 'outcome="nacked"'
+        ),
         "stalls": counters.get("invoke.stall_events", 0),
         "timeseries": sorted(metrics.get("timeseries", {})),
     }

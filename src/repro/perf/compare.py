@@ -1,0 +1,102 @@
+"""Noise-aware regression verdicts between two bench payloads.
+
+Wall-clock benchmarks are noisy; a naive ``new > old * factor`` check
+either cries wolf on runner jitter or needs margins so wide it misses
+real regressions. The verdict here demands *both* signals:
+
+- the new median exceeds ``factor`` x the old median (the magnitude
+  test), **and**
+- the new median lies outside the old run's interquartile range (the
+  noise test: the old trials themselves never spread that far).
+
+Improvements are flagged symmetrically (``faster``), benchmarks present
+on only one side are reported but never fail the comparison, and
+:func:`has_regression` drives the CLI's nonzero exit.
+"""
+
+from dataclasses import dataclass
+
+#: Default magnitude threshold. The committed baseline records budgets
+#: at ~2x a warm dev-machine run, so with factor 2 the CI gate trips at
+#: ~4x a typical dev machine -- the same generosity the old smoke test
+#: used, now per benchmark.
+DEFAULT_FACTOR = 2.0
+
+
+@dataclass
+class Verdict:
+    """The comparison outcome for one benchmark name."""
+
+    name: str
+    status: str  # "ok" | "faster" | "REGRESSION" | "new" | "missing"
+    old_median: float = None
+    new_median: float = None
+    ratio: float = None
+    note: str = ""
+
+
+def _verdict_for(name, old, new, factor):
+    om = old["median_s"]
+    nm = new["median_s"]
+    ratio = (nm / om) if om > 0 else None
+    q1 = old.get("q1_s", om)
+    q3 = old.get("q3_s", om)
+    if om > 0 and nm > om * factor and nm > q3:
+        return Verdict(
+            name,
+            "REGRESSION",
+            om,
+            nm,
+            ratio,
+            note=f"median {nm:.4f}s > {factor:g}x baseline {om:.4f}s "
+            f"and above its IQR (q3={q3:.4f}s)",
+        )
+    if om > 0 and nm * factor < om and nm < q1:
+        return Verdict(name, "faster", om, nm, ratio)
+    return Verdict(name, "ok", om, nm, ratio)
+
+
+def compare(old_payload, new_payload, factor=DEFAULT_FACTOR):
+    """Verdicts for every benchmark present in either payload."""
+    old_b = old_payload["benchmarks"]
+    new_b = new_payload["benchmarks"]
+    verdicts = []
+    for name in sorted(set(old_b) | set(new_b)):
+        if name not in new_b:
+            verdicts.append(
+                Verdict(name, "missing", old_median=old_b[name]["median_s"],
+                        note="present in baseline only")
+            )
+        elif name not in old_b:
+            verdicts.append(
+                Verdict(name, "new", new_median=new_b[name]["median_s"],
+                        note="no baseline entry yet")
+            )
+        else:
+            verdicts.append(_verdict_for(name, old_b[name], new_b[name], factor))
+    return verdicts
+
+
+def has_regression(verdicts):
+    return any(v.status == "REGRESSION" for v in verdicts)
+
+
+def render_verdicts(verdicts, factor=DEFAULT_FACTOR):
+    """The verdict table the CLI prints."""
+    header = (
+        f"{'benchmark':28s} {'baseline':>10s} {'current':>10s} "
+        f"{'ratio':>7s}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for v in verdicts:
+        old = f"{v.old_median:9.4f}s" if v.old_median is not None else "      --  "
+        new = f"{v.new_median:9.4f}s" if v.new_median is not None else "      --  "
+        ratio = f"{v.ratio:6.2f}x" if v.ratio is not None else "    -- "
+        tail = f"  ({v.note})" if v.note else ""
+        lines.append(f"{v.name:28s} {old} {new} {ratio}  {v.status}{tail}")
+    regressions = sum(1 for v in verdicts if v.status == "REGRESSION")
+    lines.append(
+        f"{regressions} regression(s) at factor {factor:g} "
+        f"(regression = median beyond factor AND outside baseline IQR)"
+    )
+    return "\n".join(lines)

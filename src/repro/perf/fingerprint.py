@@ -1,0 +1,65 @@
+"""Who/what/where stamp for benchmark files.
+
+Benchmark numbers are only comparable when you know what produced
+them. Every ``BENCH_*.json`` embeds this fingerprint -- git sha and
+dirty flag, python version/implementation, platform and CPU count --
+so the trajectory across PRs stays attributable even when files are
+copied between machines.
+"""
+
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+#: Repository root (three levels above src/repro/perf/).
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _git(*args):
+    """One git query against the repo root; ``None`` when unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_sha():
+    """The current commit sha, or ``None`` outside a git checkout."""
+    return _git("rev-parse", "HEAD") or None
+
+
+def git_dirty():
+    """True when the working tree differs from HEAD (``None``: unknown)."""
+    status = _git("status", "--porcelain")
+    if status is None:
+        return None
+    return bool(status)
+
+
+def fingerprint():
+    """The provenance dict embedded in every benchmark history file."""
+    return {
+        "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def short_sha(fp=None, length=12):
+    """A filename-safe sha prefix (``nogit`` outside a checkout)."""
+    sha = fp.get("git_sha") if fp is not None else git_sha()
+    return (sha or "nogit")[:length]

@@ -1,0 +1,151 @@
+"""The noise-aware regression verdict engine (repro.perf.compare)."""
+
+import json
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.perf.compare import (
+    DEFAULT_FACTOR,
+    compare,
+    has_regression,
+    render_verdicts,
+)
+
+
+def payload(**benchmarks):
+    """A minimal bench payload: name -> (median, q1, q3)."""
+    return {
+        "benchmarks": {
+            name: {"median_s": m, "q1_s": q1, "q3_s": q3}
+            for name, (m, q1, q3) in benchmarks.items()
+        }
+    }
+
+
+def one_verdict(old, new, factor=DEFAULT_FACTOR):
+    verdicts = compare(old, new, factor=factor)
+    assert len(verdicts) == 1
+    return verdicts[0]
+
+
+class TestVerdicts:
+    def test_regression_needs_both_magnitude_and_iqr(self):
+        old = payload(b=(1.0, 0.9, 1.1))
+        verdict = one_verdict(old, payload(b=(3.0, 2.9, 3.1)))
+        assert verdict.status == "REGRESSION"
+        assert verdict.ratio == pytest.approx(3.0)
+        assert "IQR" in verdict.note
+
+    def test_slowdown_below_factor_is_ok(self):
+        # 1.5x the baseline median and above q3, but under the 2x
+        # magnitude threshold: jitter, not a verdict.
+        old = payload(b=(1.0, 0.9, 1.1))
+        assert one_verdict(old, payload(b=(1.5, 1.4, 1.6))).status == "ok"
+
+    def test_slowdown_within_baseline_iqr_is_ok(self):
+        # A wildly noisy baseline whose own trials spread past 2x the
+        # median: the magnitude test alone would cry regression.
+        old = payload(b=(1.0, 0.5, 2.6))
+        assert one_verdict(old, payload(b=(2.5, 2.4, 2.6))).status == "ok"
+
+    def test_faster_is_symmetric(self):
+        old = payload(b=(1.0, 0.9, 1.1))
+        verdict = one_verdict(old, payload(b=(0.4, 0.3, 0.5)))
+        assert verdict.status == "faster"
+
+    def test_small_speedup_is_ok(self):
+        old = payload(b=(1.0, 0.9, 1.1))
+        assert one_verdict(old, payload(b=(0.8, 0.7, 0.9))).status == "ok"
+
+    def test_new_and_missing_never_fail(self):
+        old = payload(gone=(1.0, 0.9, 1.1))
+        new = payload(added=(1.0, 0.9, 1.1))
+        verdicts = {v.name: v for v in compare(old, new)}
+        assert verdicts["gone"].status == "missing"
+        assert verdicts["added"].status == "new"
+        assert not has_regression(list(verdicts.values()))
+
+    def test_custom_factor(self):
+        old = payload(b=(1.0, 0.9, 1.1))
+        new = payload(b=(1.6, 1.5, 1.7))
+        assert one_verdict(old, new, factor=1.5).status == "REGRESSION"
+        assert one_verdict(old, new, factor=2.0).status == "ok"
+
+    def test_missing_iqr_falls_back_to_median(self):
+        old = {"benchmarks": {"b": {"median_s": 1.0}}}
+        new = payload(b=(3.0, 2.9, 3.1))
+        assert one_verdict(old, new).status == "REGRESSION"
+
+    def test_zero_baseline_median_never_regresses(self):
+        old = payload(b=(0.0, 0.0, 0.0))
+        verdict = one_verdict(old, payload(b=(1.0, 0.9, 1.1)))
+        assert verdict.status == "ok"
+        assert verdict.ratio is None
+
+
+class TestRender:
+    def test_render_mentions_counts_and_rule(self):
+        old = payload(bad=(1.0, 0.9, 1.1), fine=(1.0, 0.9, 1.1))
+        new = payload(bad=(9.0, 8.9, 9.1), fine=(1.0, 0.9, 1.1))
+        text = render_verdicts(compare(old, new))
+        assert "1 regression(s) at factor 2" in text
+        assert "median beyond factor AND outside baseline IQR" in text
+        assert "REGRESSION" in text
+        assert "9.00x" in text
+
+
+class TestCompareCli:
+    """`bench --compare OLD NEW` must exit nonzero on a synthetic
+    regression fixture and zero when the runs agree."""
+
+    def _write(self, tmp_path, name, **benchmarks):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload(**benchmarks)))
+        return str(path)
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", b=(1.0, 0.9, 1.1))
+        new = self._write(tmp_path, "new.json", b=(5.0, 4.9, 5.1))
+        assert cli.main(["bench", "--compare", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_matching_runs_exit_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", b=(1.0, 0.9, 1.1))
+        new = self._write(tmp_path, "new.json", b=(1.05, 1.0, 1.1))
+        assert cli.main(["bench", "--compare", old, new]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_factor_flag_reaches_verdict(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", b=(1.0, 0.9, 1.1))
+        new = self._write(tmp_path, "new.json", b=(1.6, 1.5, 1.7))
+        assert cli.main(["bench", "--compare", old, new, "--factor", "1.5"]) == 1
+        assert "factor 1.5" in capsys.readouterr().out
+
+    def test_run_then_compare_against_fresh_self_passes(self, tmp_path, capsys):
+        """Running one cheap benchmark and comparing against a baseline
+        recorded from the same machine must not regress."""
+        run_rc = cli.main(
+            [
+                "bench", "--trials", "1", "--warmup", "0",
+                "--filter", "noc", "--out", str(tmp_path),
+            ]
+        )
+        assert run_rc == 0
+        baseline = next(tmp_path.glob("BENCH_*.json"))
+        generous = json.loads(baseline.read_text())
+        for entry in generous["benchmarks"].values():
+            entry["median_s"] *= 10
+            entry["q1_s"] = entry["median_s"] * 0.9
+            entry["q3_s"] = entry["median_s"] * 1.1
+        baseline.write_text(json.dumps(generous))
+        rc = cli.main(
+            [
+                "bench", "--trials", "1", "--warmup", "0",
+                "--filter", "noc", "--out", str(tmp_path / "again"),
+                "--compare", str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0

@@ -1,0 +1,175 @@
+"""The `telemetry` report command (repro.experiments.telemetry_report)."""
+
+import json
+
+import repro.experiments.cli as cli
+from repro.experiments.telemetry_report import (
+    count_with_label,
+    find_runs,
+    render,
+    report,
+    summarize_run,
+)
+
+
+def span_events(name="invoke", cat="invoke", uid=0, start=10, end=50):
+    base = {"cat": cat, "id": uid, "pid": 0, "tid": 0}
+    return [
+        dict(base, ph="b", name=name, ts=start),
+        dict(base, ph="e", name=name, ts=end),
+    ]
+
+
+def write_run(
+    root,
+    name="run-a",
+    trace_events=None,
+    counters=None,
+    timeseries=None,
+    meta=None,
+):
+    """A synthetic telemetry run directory under ``root``."""
+    run_dir = root / "runs" / name / "machine-00"
+    run_dir.mkdir(parents=True)
+    trace = {
+        "traceEvents": span_events() if trace_events is None else trace_events,
+        "displayTimeUnit": "ms",
+    }
+    (run_dir / "trace.json").write_text(json.dumps(trace))
+    metrics = {
+        "meta": dict({"cycles": 1234.0}, **(meta or {})),
+        "counters": counters or {},
+        "histograms": {
+            "invoke.latency": {
+                "count": 3, "mean": 40.0, "p50": 38.0, "p95": 60.0,
+                "p99": 61.0, "max": 62.0,
+            }
+        },
+        "timeseries": timeseries or {},
+    }
+    (run_dir / "metrics.json").write_text(json.dumps(metrics))
+    return run_dir
+
+
+class TestCountWithLabel:
+    COUNTERS = {
+        'engine.arrivals{engine="0",outcome="executed"}': 10,
+        'engine.arrivals{engine="0",outcome="nacked"}': 3,
+        'engine.arrivals{engine="2",outcome="nacked"}': 4,
+        'engine.arrivals{outcome="nacked"}': 2,
+        'other.counter{outcome="nacked"}': 99,
+        "engine.arrivals": 50,
+    }
+
+    def test_sums_every_series_with_the_label(self):
+        total = count_with_label(
+            self.COUNTERS, "engine.arrivals", 'outcome="nacked"'
+        )
+        assert total == 3 + 4 + 2
+
+    def test_base_name_must_match(self):
+        assert (
+            count_with_label(self.COUNTERS, "other.counter", 'outcome="nacked"')
+            == 99
+        )
+
+    def test_unlabelled_series_do_not_match(self):
+        assert (
+            count_with_label(self.COUNTERS, "engine.arrivals", 'outcome="x"')
+            == 0
+        )
+
+    def test_label_match_is_exact_not_substring(self):
+        counters = {'a{outcome="nacked-retry"}': 5}
+        assert count_with_label(counters, "a", 'outcome="nacked"') == 0
+
+
+class TestReport:
+    def test_empty_root_is_not_ok(self, tmp_path):
+        text, ok = report(str(tmp_path))
+        assert not ok
+        assert "no telemetry runs" in text
+
+    def test_valid_run_reports_ok(self, tmp_path):
+        write_run(
+            tmp_path,
+            counters={
+                'engine.arrivals{engine="1",outcome="nacked"}': 7,
+                "invoke.stall_events": 2,
+            },
+            timeseries={'noc.utilization{tile="0"}': [[0, 0.5]]},
+        )
+        text, ok = report(str(tmp_path))
+        assert ok
+        assert "trace: VALID" in text
+        assert "nacks: 7" in text
+        assert "stall events: 2" in text
+        assert "time series: 1 (noc.utilization)" in text
+        assert "cycles: 1234" in text
+        assert "invoke.latency: n=3" in text
+        assert "1 run(s)" in text
+
+    def test_invalid_trace_reports_problem_and_not_ok(self, tmp_path):
+        # An end without a begin: the signature of a torn trace.
+        bad = [
+            {
+                "cat": "invoke", "id": 0, "pid": 0, "tid": 0,
+                "ph": "e", "name": "invoke", "ts": 50,
+            }
+        ]
+        write_run(tmp_path, trace_events=bad)
+        text, ok = report(str(tmp_path))
+        assert not ok
+        assert "trace: INVALID" in text
+        assert "without begin" in text
+
+    def test_mixed_runs_fail_overall_but_list_both(self, tmp_path):
+        write_run(tmp_path, name="good")
+        write_run(
+            tmp_path,
+            name="torn",
+            trace_events=[span_events()[0]],  # begin, never closed
+        )
+        text, ok = report(str(tmp_path))
+        assert not ok
+        assert "2 run(s)" in text
+        assert "VALID" in text and "INVALID" in text
+
+    def test_find_runs_requires_both_files(self, tmp_path):
+        run_dir = write_run(tmp_path)
+        incomplete = tmp_path / "runs" / "half" / "machine-00"
+        incomplete.mkdir(parents=True)
+        (incomplete / "trace.json").write_text("{}")
+        assert find_runs(str(tmp_path)) == [str(run_dir)]
+
+
+class TestSummarizeAndRender:
+    def test_summarize_run_digest(self, tmp_path):
+        run_dir = write_run(
+            tmp_path,
+            counters={'engine.arrivals{outcome="nacked"}': 5},
+            meta={"spans_unclosed": 1, "spans_dropped": 2},
+        )
+        summary = summarize_run(str(run_dir))
+        assert summary["trace_spans"] == 1
+        assert summary["trace_events"] == 2
+        assert summary["nacks"] == 5
+        assert summary["spans_unclosed"] == 1
+        assert summary["spans_dropped"] == 2
+        assert summary["trace_problems"] == []
+
+    def test_render_lists_problems(self, tmp_path):
+        run_dir = write_run(tmp_path, trace_events=[span_events()[0]])
+        summary = summarize_run(str(run_dir))
+        text = render(summary)
+        assert "INVALID" in text
+        assert "!!" in text
+
+
+class TestTelemetryReportCli:
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert cli.main(["telemetry", str(tmp_path)]) == 1
+        write_run(tmp_path)
+        assert cli.main(["telemetry", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
