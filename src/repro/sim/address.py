@@ -50,6 +50,14 @@ class AddressSpace:
 
     def __init__(self, line_size=64):
         self.line_size = line_size
+        # Line math is on hot paths (every access computes a line); with
+        # a power-of-two line size it reduces to shifts and masks.
+        if line_size > 0 and (line_size & (line_size - 1)) == 0:
+            self._line_shift = line_size.bit_length() - 1
+            self._line_mask = line_size - 1
+        else:
+            self._line_shift = None
+            self._line_mask = None
         self._next_cache = self.CACHE_BASE
         self._next_dram = self.DRAM_BASE
 
@@ -87,10 +95,14 @@ class AddressSpace:
     # ------------------------------------------------------------------
     def line_of(self, addr):
         """The line number containing ``addr``."""
+        if self._line_shift is not None:
+            return addr >> self._line_shift
         return addr // self.line_size
 
     def line_base(self, addr):
         """The base address of the line containing ``addr``."""
+        if self._line_mask is not None:
+            return addr & ~self._line_mask
         return addr - (addr % self.line_size)
 
     def lines_touched(self, addr, size):

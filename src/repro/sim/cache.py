@@ -61,9 +61,18 @@ class SetAssocCache:
         #: below the set-index bits, so they must not alias (a banked
         #: cache indexing sets with the bank bits would use one set).
         self.index_shift = index_shift
+        # n_sets is a power of two (checked above): modulo is a mask.
+        self._mask = n_sets - 1
+        self._shift = index_shift
         #: list of dicts: set index -> {line: CacheLine}
         self._sets = [dict() for _ in range(n_sets)]
-        self._tick = 0
+        #: Per-set LRU clocks. Replacement only ever compares ticks of
+        #: lines in the *same* set, so each set keeps its own counter:
+        #: touch order within a set is what LRU is defined over, and a
+        #: shared global clock would couple unrelated sets (and made the
+        #: tick a single ever-growing hot spot).
+        self._ticks = [0] * n_sets
+        self._brrip_counter = 0
 
     # ------------------------------------------------------------------
     # geometry
@@ -85,15 +94,17 @@ class SetAssocCache:
         pass ``touch=False`` for probes (directory checks, DYNAMIC
         invoke placement) that should not perturb replacement.
         """
-        entry = self._sets[self.set_index(line)].get(line)
+        index = (line >> self._shift) & self._mask
+        entry = self._sets[index].get(line)
         if entry is not None and touch:
-            self._tick += 1
-            entry.lru_tick = self._tick
+            tick = self._ticks[index] + 1
+            self._ticks[index] = tick
+            entry.lru_tick = tick
             entry.rrpv = 0
         return entry
 
     def contains(self, line):
-        return line in self._sets[self.set_index(line)]
+        return line in self._sets[(line >> self._shift) & self._mask]
 
     def insert(self, line, dirty=False, morph=False):
         """Insert ``line``; return the evicted :class:`CacheLine` or ``None``.
@@ -101,13 +112,15 @@ class SetAssocCache:
         Inserting a line that is already resident just updates its flags
         (and returns ``None``).
         """
-        cache_set = self._sets[self.set_index(line)]
+        index = (line >> self._shift) & self._mask
+        cache_set = self._sets[index]
         entry = cache_set.get(line)
+        tick = self._ticks[index] + 1
+        self._ticks[index] = tick
         if entry is not None:
             entry.dirty = entry.dirty or dirty
             entry.morph = entry.morph or morph
-            self._tick += 1
-            entry.lru_tick = self._tick
+            entry.lru_tick = tick
             return None
 
         victim = None
@@ -118,8 +131,7 @@ class SetAssocCache:
         entry = CacheLine(line)
         entry.dirty = dirty
         entry.morph = morph
-        self._tick += 1
-        entry.lru_tick = self._tick
+        entry.lru_tick = tick
         entry.rrpv = self._insertion_rrpv()
         cache_set[line] = entry
         return victim
@@ -129,7 +141,7 @@ class SetAssocCache:
             # Bimodal: nearly all insertions predict distant re-reference
             # (scan-resistant); one in 32 gets the SRRIP insertion so a
             # new working set can still ramp in.
-            self._brrip_counter = getattr(self, "_brrip_counter", 0) + 1
+            self._brrip_counter += 1
             if self._brrip_counter % 32 == 0:
                 return self.RRIP_INSERT
             return self.RRIP_MAX
@@ -137,7 +149,7 @@ class SetAssocCache:
 
     def invalidate(self, line):
         """Remove ``line``; return its :class:`CacheLine` or ``None``."""
-        return self._sets[self.set_index(line)].pop(line, None)
+        return self._sets[(line >> self._shift) & self._mask].pop(line, None)
 
     def resident_lines(self):
         """Iterate over all resident line numbers (for range flushes)."""

@@ -60,45 +60,75 @@ class MemoryController:
         self.fifo = FifoCache(self.config.fifo_lines)
         self.line_bytes = line_bytes
         self._busy_until = 0.0
+        # Static config resolved once per controller, not per access.
+        self._service = self.config.service_cycles(line_bytes)
+        self._latency = self.config.latency
         #: Fault hook (:mod:`repro.sim.faults`): set by a controller with
         #: DRAM-error rules; ``None`` (default) adds no per-access work.
         self.faults = None
+        #: DramAccess emit flag, kept coherent with the bus registry.
+        self._emit_dram_access = False
+        self.bus.on_change(self._refresh_emit_flags)
+
+    def _refresh_emit_flags(self, bus):
+        self._emit_dram_access = bus.wants(DramAccess)
 
     def _queue_for_service(self, now):
         """Occupy the controller; returns the queueing + service delay."""
-        start = max(now, self._busy_until)
-        service = self.config.service_cycles(self.line_bytes)
+        start = now if now > self._busy_until else self._busy_until
+        service = self._service
         self._busy_until = start + service
         queueing = start - now
-        self.stats.add("dram.queue_cycles", queueing)
+        stats = self.stats
+        if stats._phase is None:
+            stats.counters["dram.queue_cycles"] += queueing
+        else:
+            stats.add("dram.queue_cycles", queueing)
         return queueing + service
 
     def access(self, dram_line, is_write=False, now=0.0):
         """Access one DRAM line through the FIFO cache; returns latency."""
-        self.stats.add("mc_cache.accesses")
+        stats = self.stats
+        phased = stats._phase is not None
+        counters = stats.counters
+        if phased:
+            stats.add("mc_cache.accesses")
+        else:
+            counters["mc_cache.accesses"] += 1
         if self.fifo.probe(dram_line):
-            self.stats.add("mc_cache.hits")
+            if phased:
+                stats.add("mc_cache.hits")
+            else:
+                counters["mc_cache.hits"] += 1
             if is_write:
                 # Write hits still drain to DRAM; the FIFO is a read
                 # combiner for compacted objects, not a write-back cache.
-                self.stats.add("dram.accesses")
-                self.stats.add("dram.writes")
-                if self.bus.active:
+                if phased:
+                    stats.add("dram.accesses")
+                    stats.add("dram.writes")
+                else:
+                    counters["dram.accesses"] += 1
+                    counters["dram.writes"] += 1
+                if self._emit_dram_access:
                     self.bus.emit(DramAccess(self.index, dram_line, True, True, True))
-                latency = self._queue_for_service(now) + self.config.latency
+                latency = self._queue_for_service(now) + self._latency
                 if self.faults is not None:
                     latency += self.faults.on_dram_access(self.index, dram_line, True)
                 return latency
-            if self.bus.active:
+            if self._emit_dram_access:
                 self.bus.emit(DramAccess(self.index, dram_line, False, True, False))
             return self.FIFO_HIT_LATENCY
-        self.stats.add("dram.accesses")
-        self.stats.add("dram.writes" if is_write else "dram.reads")
-        if self.bus.active:
+        if phased:
+            stats.add("dram.accesses")
+            stats.add("dram.writes" if is_write else "dram.reads")
+        else:
+            counters["dram.accesses"] += 1
+            counters["dram.writes" if is_write else "dram.reads"] += 1
+        if self._emit_dram_access:
             self.bus.emit(DramAccess(self.index, dram_line, is_write, False, True))
         if not is_write:
             self.fifo.insert(dram_line)
-        latency = self._queue_for_service(now) + self.config.latency
+        latency = self._queue_for_service(now) + self._latency
         if self.faults is not None:
             latency += self.faults.on_dram_access(self.index, dram_line, is_write)
         return latency

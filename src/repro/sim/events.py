@@ -46,7 +46,7 @@ class EventBus:
     constructing an event.
     """
 
-    __slots__ = ("_handlers", "active")
+    __slots__ = ("_handlers", "active", "_listeners")
 
     def __init__(self):
         #: event type -> tuple of handlers (tuples make dispatch
@@ -54,6 +54,9 @@ class EventBus:
         #: from inside a handler).
         self._handlers = {}
         self.active = False
+        #: Registry-change listeners (see :meth:`on_change`): components
+        #: that cache per-event-type emit flags refresh them here.
+        self._listeners = []
 
     # ------------------------------------------------------------------
     # registration
@@ -96,6 +99,21 @@ class EventBus:
         pops the key), so the truthiness of the dict is the invariant.
         """
         self.active = bool(self._handlers)
+        for listener in self._listeners:
+            listener(self)
+
+    def on_change(self, listener):
+        """Call ``listener(bus)`` now and after every (un)subscription.
+
+        Hot emit sites pay one attribute load per emit when they guard on
+        ``bus.active``; sites that want to skip even *constructing* events
+        nobody listens for cache ``bus.wants(EventType)`` in a local flag
+        and use this hook to keep the flag coherent with the registry.
+        Listeners must not (un)subscribe from inside the callback.
+        """
+        self._listeners.append(listener)
+        listener(self)
+        return listener
 
     def wants(self, event_type):
         """True if at least one subscriber listens for ``event_type``."""

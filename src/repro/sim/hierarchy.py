@@ -124,6 +124,9 @@ class FillEngine:
         self.hooks = HierarchyHooks()
         self._hook_depth = 0
         self._pending_destructors = []
+        #: Per-event-type emit flag, kept coherent with the bus registry
+        #: by :meth:`Hierarchy._refresh_emit_flags`.
+        self.emit_morph_destruct = False
 
     # ------------------------------------------------------------------
     # hooks with recursion guard
@@ -154,7 +157,7 @@ class FillEngine:
         """Queue a data-triggered destructor on the pending-actor buffer."""
         self._pending_destructors.append((level, tile, line, dirty))
         self.stats.add(f"morph.{level}_destructions")
-        if self.bus.active:
+        if self.emit_morph_destruct:
             self.bus.emit(MorphDestruct(level, tile, line, dirty))
 
     def drain_destructors(self):
@@ -197,6 +200,16 @@ class PrivateCachePath:
             hierarchy.build_cache(engine_l1_cfg, "el1.", t) for t in range(n)
         ]
         self.prefetchers = [StridePrefetcher(t, cfg.line_size) for t in range(n)]
+        # Hit/tag latencies resolved once: ``CacheConfig.hit_latency`` is
+        # a property (tag + data) and was being recomputed per access.
+        self._l1_hit = cfg.l1.hit_latency
+        self._l1_tag = cfg.l1.tag_latency
+        self._l2_hit = cfg.l2.hit_latency
+        self._l2_tag = cfg.l2.tag_latency
+        # Per-event-type emit flags (see Hierarchy._refresh_emit_flags).
+        self.emit_cache_access = False
+        self.emit_eviction = False
+        self.emit_morph_construct = False
 
     def link(self, shared, fill_engine):
         """Wire the cross-component references (called once by the facade)."""
@@ -218,40 +231,48 @@ class PrivateCachePath:
     # ------------------------------------------------------------------
     def access_line(self, req):
         """Walk a core access through L1 -> L2 -> (morph | shared path)."""
-        cfg = self.config
         stats = self.stats
-        bus = self.bus
+        counters = stats.counters
+        phased = stats._phase is not None
         tile, line, is_write = req.tile, req.line, req.is_write
 
-        stats.add("l1.accesses")
+        if phased:
+            stats.add("l1.accesses")
+        else:
+            counters["l1.accesses"] += 1
         entry = self.l1[tile].lookup(line)
-        if bus.active:
-            bus.emit(CacheAccess("l1", tile, line, entry is not None, is_write, False))
+        if self.emit_cache_access:
+            self.bus.emit(
+                CacheAccess("l1", tile, line, entry is not None, is_write, False)
+            )
         if entry is not None:
-            req.record("l1", "hit")
-            req.latency += cfg.l1.hit_latency
+            req.outcomes.append(("l1", "hit"))
+            req.latency += self._l1_hit
             if is_write:
                 entry.dirty = True
                 req.latency += self.shared.ensure_ownership(tile, line)
             return
-        req.record("l1", "miss")
-        req.latency += cfg.l1.tag_latency
+        req.outcomes.append(("l1", "miss"))
+        req.latency += self._l1_tag
 
-        stats.add("l2.accesses")
+        if phased:
+            stats.add("l2.accesses")
+        else:
+            counters["l2.accesses"] += 1
         l2_entry = self.l2[tile].lookup(line)
-        if bus.active:
-            bus.emit(
+        if self.emit_cache_access:
+            self.bus.emit(
                 CacheAccess("l2", tile, line, l2_entry is not None, is_write, False)
             )
         if l2_entry is not None:
-            req.record("l2", "hit")
-            req.latency += cfg.l2.hit_latency
+            req.outcomes.append(("l2", "hit"))
+            req.latency += self._l2_hit
             if is_write:
                 req.latency += self.shared.ensure_ownership(tile, line)
             self.fill_private(tile, line, is_write, False, morph=l2_entry.morph)
             return
-        req.record("l2", "miss")
-        req.latency += cfg.l2.tag_latency
+        req.outcomes.append(("l2", "miss"))
+        req.latency += self._l2_tag
 
         # L2-level morph: phantom fill constructed by this tile's engine.
         result = self.fill.run_on_miss("l2", tile, line)
@@ -262,8 +283,8 @@ class PrivateCachePath:
                 self.insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
             self.fill_private(tile, line, is_write, False, morph=True)
             stats.add("morph.l2_constructions")
-            if bus.active:
-                bus.emit(MorphConstruct("l2", tile, line))
+            if self.emit_morph_construct:
+                self.bus.emit(MorphConstruct("l2", tile, line))
             return
 
         self.shared.access_line(req)
@@ -273,7 +294,7 @@ class PrivateCachePath:
         # Prefetches issue after the demand miss resolves (issuing them
         # first could evict the demanded line between its directory and
         # data lookups).
-        if cfg.l2_prefetcher:
+        if self.config.l2_prefetcher:
             self.train_prefetcher(tile, line)
 
     # ------------------------------------------------------------------
@@ -293,9 +314,9 @@ class PrivateCachePath:
         crosses no NoC links.
         """
         h = self.h
-        cfg = self.config
         stats = self.stats
-        bus = self.bus
+        counters = stats.counters
+        phased = stats._phase is not None
         tile, line, is_write = req.tile, req.line, req.is_write
 
         if self.fill.hooks.morph_level(line) == "llc":
@@ -303,42 +324,48 @@ class PrivateCachePath:
             # *in the LLC bank* (PHI's RMW tasks update the cached
             # deltas directly, Sec. IV-B); bypassing the engine L1d
             # keeps the reuse visible to the LLC's replacement policy.
-            req.record("engine_l1", "bypass")
+            req.outcomes.append(("engine_l1", "bypass"))
             req.latency += 1
             self.shared.access_line(req)
             return
 
-        stats.add("engine_l1.accesses")
+        if phased:
+            stats.add("engine_l1.accesses")
+        else:
+            counters["engine_l1.accesses"] += 1
         entry = self.engine_l1[tile].lookup(line)
-        if bus.active:
-            bus.emit(
+        if self.emit_cache_access:
+            self.bus.emit(
                 CacheAccess("engine_l1", tile, line, entry is not None, is_write, True)
             )
         if entry is not None:
-            req.record("engine_l1", "hit")
+            req.outcomes.append(("engine_l1", "hit"))
             req.latency += 2  # small, near-engine SRAM
             if is_write:
                 entry.dirty = True
                 req.latency += self.shared.ensure_ownership(tile, line)
             return
-        req.record("engine_l1", "miss")
+        req.outcomes.append(("engine_l1", "miss"))
         req.latency += 1
 
         # Snoop the on-tile L2 (no fill -- the caches stay distinct).
-        stats.add("l2.accesses")
+        if phased:
+            stats.add("l2.accesses")
+        else:
+            counters["l2.accesses"] += 1
         l2_entry = self.l2[tile].lookup(line)
-        if bus.active:
-            bus.emit(
+        if self.emit_cache_access:
+            self.bus.emit(
                 CacheAccess("l2", tile, line, l2_entry is not None, is_write, True)
             )
         if l2_entry is not None:
-            req.record("l2", "snoop_hit")
-            req.latency += cfg.l2.hit_latency
+            req.outcomes.append(("l2", "snoop_hit"))
+            req.latency += self._l2_hit
             if is_write:
                 req.latency += self.shared.ensure_ownership(tile, line)
             self.fill_private(tile, line, is_write, True, morph=l2_entry.morph)
             return
-        req.record("l2", "snoop_miss")
+        req.outcomes.append(("l2", "snoop_miss"))
 
         if (
             req.near_memory
@@ -381,7 +408,7 @@ class PrivateCachePath:
             self.shared.dir.record_fill(line, tile, exclusive=False)
 
     def evict_private_l1(self, tile, victim):
-        if self.bus.active:
+        if self.emit_eviction:
             self.bus.emit(Eviction("l1", tile, victim.line, victim.dirty, victim.morph))
         if victim.dirty:
             # Write back into the L2 (which may cascade).
@@ -391,7 +418,7 @@ class PrivateCachePath:
     def evict_engine_l1(self, tile, victim):
         """Engine L1d victims write back to the LLC, not the core's L2."""
         line = victim.line
-        if self.bus.active:
+        if self.emit_eviction:
             self.bus.emit(Eviction("engine_l1", tile, line, victim.dirty, victim.morph))
         if victim.morph:
             # A phantom (L2-morph) line cached by the engine: destruct.
@@ -421,7 +448,7 @@ class PrivateCachePath:
         dirty = victim.dirty or bool(l1_entry and l1_entry.dirty) or bool(
             e1_entry and e1_entry.dirty
         )
-        if self.bus.active:
+        if self.emit_eviction:
             self.bus.emit(Eviction("l2", tile, line, dirty, victim.morph))
         if victim.morph:
             # Phantom line registered at the L2: queue its destructor on
@@ -457,13 +484,14 @@ class PrivateCachePath:
                 self.insert_l2(tile, obj_line, dirty=result.dirty, morph=True)
             self.stats.add("morph.l2_constructions")
             self.stats.add("prefetch.morph_fills")
-            if self.bus.active:
+            if self.emit_morph_construct:
                 self.bus.emit(MorphConstruct("l2", tile, line))
             return
         # The prefetch walks the shared path like a demand fill, but its
         # latency is discarded (it is off the demand critical path).
-        pf_req = MemoryRequest(tile, line, 0, is_write=False)
+        pf_req = self.h.checkout_request(tile, line, 0, False, False, False)
         self.shared.access_line(pf_req)
+        self.h.checkin_request(pf_req)
         self.insert_l2(tile, line, dirty=False, morph=False)
         self.shared.dir.record_fill(line, tile, exclusive=False)
 
@@ -486,6 +514,16 @@ class SharedCachePath:
             for t in range(n)
         ]
         self.dir = Directory(self.stats)
+        #: ``n_tiles`` is a power of two (validated by SystemConfig), so
+        #: the bank-index modulo reduces to this mask.
+        self._bank_mask = n - 1
+        self._llc_hit = cfg.llc.hit_latency
+        self._llc_tag = cfg.llc.tag_latency
+        # Per-event-type emit flags (see Hierarchy._refresh_emit_flags).
+        self.emit_cache_access = False
+        self.emit_eviction = False
+        self.emit_coherence = False
+        self.emit_morph_construct = False
 
     def link(self, private, fill_engine):
         """Wire the cross-component references (called once by the facade)."""
@@ -497,8 +535,7 @@ class SharedCachePath:
     # ------------------------------------------------------------------
     def bank_of(self, line):
         """LLC bank for ``line``, honoring Leviathan's LSB-ignore mapping."""
-        shift = self.fill.hooks.bank_shift(line)
-        return (line >> shift) % self.config.n_tiles
+        return (line >> self.fill.hooks.bank_shift(line)) & self._bank_mask
 
     def llc_has(self, line):
         return self.llc[self.bank_of(line)].contains(line)
@@ -513,31 +550,41 @@ class SharedCachePath:
         """Access ``req.line`` at its LLC bank on behalf of the requester."""
         h = self.h
         stats = self.stats
-        bus = self.bus
+        counters = stats.counters
+        phased = stats._phase is not None
         line, is_write = req.line, req.is_write
-        bank = self.bank_of(line)
+        bank = (line >> self.fill.hooks.bank_shift(line)) & self._bank_mask
         req.latency += h.noc.send(req.tile, bank, CTRL_BYTES)
-        stats.add("llc.accesses")
+        if phased:
+            stats.add("llc.accesses")
+        else:
+            counters["llc.accesses"] += 1
         req.latency += self.resolve_coherence(bank, req.tile, line, is_write)
 
         llc = self.llc[bank]
         entry = llc.lookup(line)
-        if bus.active:
-            bus.emit(
+        if self.emit_cache_access:
+            self.bus.emit(
                 CacheAccess("llc", bank, line, entry is not None, is_write, req.engine)
             )
         if entry is not None:
-            stats.add("llc.hits")
-            req.record("llc", "hit")
-            req.latency += self.config.llc.hit_latency
+            if phased:
+                stats.add("llc.hits")
+            else:
+                counters["llc.hits"] += 1
+            req.outcomes.append(("llc", "hit"))
+            req.latency += self._llc_hit
             if is_write:
                 entry.dirty = True
             req.latency += h.noc.send(bank, req.tile, DATA_BYTES)
             return
 
-        stats.add("llc.misses")
-        req.record("llc", "miss")
-        req.latency += self.config.llc.tag_latency
+        if phased:
+            stats.add("llc.misses")
+        else:
+            counters["llc.misses"] += 1
+        req.outcomes.append(("llc", "miss"))
+        req.latency += self._llc_tag
 
         result = self.fill.run_on_miss("llc", bank, line)
         if result is not None:
@@ -546,8 +593,8 @@ class SharedCachePath:
             for obj_line in result.lines:
                 self.insert_llc(bank, obj_line, dirty=result.dirty or is_write, morph=True)
             stats.add("morph.llc_constructions")
-            if bus.active:
-                bus.emit(MorphConstruct("llc", bank, line))
+            if self.emit_morph_construct:
+                self.bus.emit(MorphConstruct("llc", bank, line))
         else:
             dram_lines = self.fill.hooks.translate(line)
             req.latency += h.mem.access(
@@ -567,16 +614,16 @@ class SharedCachePath:
     # ------------------------------------------------------------------
     def ensure_ownership(self, tile, line):
         """Charge an upgrade if ``tile`` writes a line it does not own."""
-        if self.dir.owner_of(line) == tile:
-            return 0
         ent = self.dir.peek(line)
         if ent is None:
             # Phantom (L2-morph) lines are tile-private; no directory state.
             return 0
+        if ent.owner == tile:
+            return 0
         bank = self.bank_of(line)
         latency = self.h.noc.round_trip(tile, bank, CTRL_BYTES, CTRL_BYTES)
         self.stats.add("coherence.upgrades")
-        if self.bus.active:
+        if self.emit_coherence:
             self.bus.emit(CoherenceAction("upgrade", line, bank, tile))
         latency += self.invalidate_sharers(bank, line, keep_tile=tile)
         self.dir.record_fill(line, tile, exclusive=True)
@@ -592,7 +639,7 @@ class SharedCachePath:
         if owner is not None and owner != requester_tile:
             # Another tile holds the line modified: fetch and write back.
             self.stats.add("coherence.ping_pongs")
-            if self.bus.active:
+            if self.emit_coherence:
                 self.bus.emit(CoherenceAction("ping_pong", line, bank, owner))
             latency += self.h.noc.send(bank, owner, CTRL_BYTES)
             latency += self.h.noc.send(owner, bank, DATA_BYTES)
@@ -611,7 +658,7 @@ class SharedCachePath:
             if sharer == keep_tile:
                 continue
             self.stats.add("coherence.invalidations")
-            if self.bus.active:
+            if self.emit_coherence:
                 self.bus.emit(CoherenceAction("invalidation", line, bank, sharer))
             latency = max(
                 latency, self.h.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
@@ -633,7 +680,7 @@ class SharedCachePath:
         self.h.noc.send(tile, bank, DATA_BYTES)
         self.stats.add("llc.accesses")
         llc_entry = self.llc[bank].lookup(line, touch=False)
-        if self.bus.active:
+        if self.emit_cache_access:
             self.bus.emit(
                 CacheAccess("llc", bank, line, llc_entry is not None, True, False)
             )
@@ -659,7 +706,7 @@ class SharedCachePath:
         dirty = victim.dirty
         for sharer in sorted(self.dir.sharers_of(line)):
             self.stats.add("coherence.recalls")
-            if self.bus.active:
+            if self.emit_coherence:
                 self.bus.emit(CoherenceAction("recall", line, bank, sharer))
             self.h.noc.round_trip(bank, sharer, CTRL_BYTES, CTRL_BYTES)
             for cache in (
@@ -671,7 +718,7 @@ class SharedCachePath:
                 if dropped is not None and dropped.dirty:
                     dirty = True
         self.dir.drop(line)
-        if self.bus.active:
+        if self.emit_eviction:
             self.bus.emit(Eviction("llc", bank, line, dirty, victim.morph))
         if victim.morph:
             # Destructor (off the critical path; its engine work is
@@ -718,6 +765,64 @@ class Hierarchy:
         self.prefetchers = self.private.prefetchers
         self.llc = self.shared.llc
         self.dir = self.shared.dir
+
+        #: line_size is validated to be a power of two, so address ->
+        #: line is a shift on the hot path.
+        self._line_shift = cfg.line_size.bit_length() - 1
+        #: Free list of MemoryRequest objects. An access checks one out,
+        #: walks it down the path, and checks it back in; constructor
+        #: recursion is safe because a nested access simply pops another
+        #: entry (or allocates when the pool is dry).
+        self._req_pool = []
+        #: True when a MemoryAccess subscriber exists: accesses must
+        #: then build full AccessResult objects (the instrumented path).
+        self._want_memory_access = False
+        # Keep every component's per-event-type emit flag coherent with
+        # the bus registry (called immediately, then on each change).
+        self.bus.on_change(self._refresh_emit_flags)
+
+    def _refresh_emit_flags(self, bus):
+        """Distribute ``bus.wants(...)`` to the path components.
+
+        Emit sites on the access path guard on these flags instead of
+        ``bus.active`` so an event type nobody subscribed to is never
+        even constructed -- e.g. an AccessProfile (MemoryAccess-only)
+        subscriber does not cause a CacheAccess allocation per lookup.
+        """
+        wants = bus.wants
+        private = self.private
+        shared = self.shared
+        private.emit_cache_access = shared.emit_cache_access = wants(CacheAccess)
+        private.emit_eviction = shared.emit_eviction = wants(Eviction)
+        shared.emit_coherence = wants(CoherenceAction)
+        private.emit_morph_construct = shared.emit_morph_construct = wants(
+            MorphConstruct
+        )
+        self.fill_engine.emit_morph_destruct = wants(MorphDestruct)
+        self._want_memory_access = wants(MemoryAccess)
+
+    # ------------------------------------------------------------------
+    # request pooling
+    # ------------------------------------------------------------------
+    def checkout_request(self, tile, line, size, is_write, engine, near_memory):
+        """A reset :class:`MemoryRequest` from the free list (or new)."""
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.tile = tile
+            req.line = line
+            req.size = size
+            req.is_write = is_write
+            req.engine = engine
+            req.near_memory = near_memory
+            req.latency = 0.0
+            return req
+        return MemoryRequest(tile, line, size, is_write, engine, near_memory)
+
+    def checkin_request(self, req):
+        """Recycle ``req``; its outcome trail is discarded."""
+        req.outcomes.clear()
+        self._req_pool.append(req)
 
     def build_cache(self, cache_cfg, name, tile, index_shift=0):
         return SetAssocCache(
@@ -776,27 +881,36 @@ class Hierarchy:
         by the access's own fills) observes the applied value.
         """
         private = self.private
-        first = addr // self.line_size
-        last = (addr + max(size, 1) - 1) // self.line_size
+        shift = self._line_shift
+        first = addr >> shift
+        last = (addr + max(size, 1) - 1) >> shift
         if first == last:
-            req = MemoryRequest(tile, first, size, is_write, engine, near_memory)
+            req = self.checkout_request(tile, first, size, is_write, engine, near_memory)
             if engine:
                 private.engine_access_line(req)
             else:
                 private.access_line(req)
             latency = req.latency
+            # The outcome trail escapes into the AccessResult: hand the
+            # recycled request a fresh list instead of copying.
             outcomes = req.outcomes
+            req.outcomes = []
+            self._req_pool.append(req)
         else:
             latency = 0.0
-            outcomes = []
+            req = self.checkout_request(tile, first, size, is_write, engine, near_memory)
             for line in range(first, last + 1):
-                req = MemoryRequest(tile, line, size, is_write, engine, near_memory)
+                req.line = line
                 if engine:
                     private.engine_access_line(req)
                 else:
                     private.access_line(req)
-                latency = max(latency, req.latency)
-                outcomes.extend(req.outcomes)
+                if req.latency > latency:
+                    latency = req.latency
+                req.latency = 0.0
+            outcomes = req.outcomes
+            req.outcomes = []
+            self._req_pool.append(req)
         if apply is not None:
             apply()
         fill = self.fill_engine
@@ -805,12 +919,55 @@ class Hierarchy:
         result = AccessResult(
             tile, addr, size, is_write, engine, near_memory, latency, outcomes
         )
-        bus = self.bus
-        if bus.active:
-            bus.emit(
+        if self._want_memory_access:
+            self.bus.emit(
                 MemoryAccess(tile, addr, size, is_write, engine, near_memory, result)
             )
         return result
+
+    def access_latency(
+        self, tile, addr, size, is_write, engine=False, apply=None, near_memory=False
+    ):
+        """The latency of an access -- the operation fast path.
+
+        Equivalent to ``self.access(...).latency`` (and falls back to
+        exactly that whenever a :class:`~repro.sim.events.MemoryAccess`
+        subscriber needs the full result), but with no MemoryAccess
+        subscriber the walk runs on pooled requests and never builds an
+        :class:`~repro.sim.access.AccessResult` or outcome list copy.
+        """
+        if self._want_memory_access:
+            return self.access(
+                tile, addr, size, is_write, engine, apply, near_memory
+            ).latency
+        private = self.private
+        shift = self._line_shift
+        first = addr >> shift
+        last = (addr + max(size, 1) - 1) >> shift
+        req = self.checkout_request(tile, first, size, is_write, engine, near_memory)
+        if engine:
+            access_line = private.engine_access_line
+        else:
+            access_line = private.access_line
+        if first == last:
+            access_line(req)
+            latency = req.latency
+        else:
+            latency = 0.0
+            for line in range(first, last + 1):
+                req.line = line
+                access_line(req)
+                if req.latency > latency:
+                    latency = req.latency
+                req.latency = 0.0
+        req.outcomes.clear()
+        self._req_pool.append(req)
+        if apply is not None:
+            apply()
+        fill = self.fill_engine
+        if fill._hook_depth == 0:
+            fill.drain_destructors()
+        return latency
 
     # ------------------------------------------------------------------
     # explicit flush (Leviathan's flush instruction, Sec. VI-B2)

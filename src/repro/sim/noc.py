@@ -24,6 +24,28 @@ class MeshNoc:
         #: NoC rules attaches it sets itself here; ``None`` (default)
         #: keeps the send path free of any fault check beyond this load.
         self.faults = None
+        # The mesh is static, so every quantity ``send`` derives per
+        # message is precomputed: the src x dst hop-count table, the
+        # head-flit latency per hop count, and a payload-size ->
+        # (flits, serialization) memo (payload sizes are a handful of
+        # constants: CTRL_BYTES, DATA_BYTES, stream entries).
+        width = self.width
+        self._hops = [
+            [
+                abs(s % width - d % width) + abs(s // width - d // width)
+                for d in range(self.n_tiles)
+            ]
+            for s in range(self.n_tiles)
+        ]
+        max_hops = (width - 1) + (self.height - 1)
+        self._hop_latency = [self.config.hop_latency(h) for h in range(max_hops + 1)]
+        self._flits = {}
+        #: FlitHop emit flag, kept coherent with the bus registry.
+        self._emit_flit_hop = False
+        self.bus.on_change(self._refresh_emit_flags)
+
+    def _refresh_emit_flags(self, bus):
+        self._emit_flit_hop = bus.wants(FlitHop)
 
     def coords(self, tile):
         """(x, y) position of ``tile`` on the mesh."""
@@ -33,9 +55,11 @@ class MeshNoc:
 
     def hops(self, src, dst):
         """XY-routed hop count between two tiles."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        if not 0 <= src < self.n_tiles:
+            raise ValueError(f"tile {src} out of range [0, {self.n_tiles})")
+        if not 0 <= dst < self.n_tiles:
+            raise ValueError(f"tile {dst} out of range [0, {self.n_tiles})")
+        return self._hops[src][dst]
 
     def send(self, src, dst, payload_bytes):
         """Send a message; returns its latency and accounts traffic.
@@ -43,14 +67,29 @@ class MeshNoc:
         A 0-hop (same-tile) message still pays one router traversal but
         generates no link traffic.
         """
-        hops = self.hops(src, dst)
-        flits = self.config.flits(payload_bytes)
-        self.stats.add("noc.messages")
-        self.stats.add("noc.flits", flits)
-        self.stats.add("noc.flit_hops", flits * hops)
-        if self.bus.active:
+        hops = self._hops[src][dst]
+        cached = self._flits.get(payload_bytes)
+        if cached is None:
+            flits = self.config.flits(payload_bytes)
+            cached = (flits, flits - 1)
+            self._flits[payload_bytes] = cached
+        flits, serialization = cached
+        stats = self.stats
+        if stats._phase is None:
+            counters = stats.counters
+            counters["noc.messages"] += 1
+            counters["noc.flits"] += flits
+            counters["noc.flit_hops"] += flits * hops
+        else:
+            stats.add("noc.messages")
+            stats.add("noc.flits", flits)
+            stats.add("noc.flit_hops", flits * hops)
+        if self._emit_flit_hop:
             self.bus.emit(FlitHop(src, dst, payload_bytes, flits, hops))
-        latency = self.config.message_latency(hops, payload_bytes)
+        if hops:
+            latency = self._hop_latency[hops] + serialization
+        else:
+            latency = self._hop_latency[0]
         if self.faults is not None:
             latency += self.faults.on_noc_message(src, dst, payload_bytes)
         return latency

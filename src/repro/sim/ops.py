@@ -46,15 +46,25 @@ class Park(Exception):
 
 
 class Op:
-    """Base class for operations (used only for isinstance checks)."""
+    """Base class for operations (used only for isinstance checks).
+
+    ``result`` is the value the scheduler sends back into the yielding
+    generator after executing the op. Most operations produce nothing,
+    so it is a class attribute: the scheduler reads ``op.result``
+    unconditionally (no per-op ``getattr``), and the few result-bearing
+    operations (``WaitFuture``, ``Invoke``) shadow it with an instance
+    attribute in their ``execute``.
+    """
 
     __slots__ = ()
+
+    result = None
 
     def execute(self, machine, ctx):
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Op):
     """Execute ``instructions`` dynamic instructions of pure compute.
 
@@ -66,10 +76,30 @@ class Compute(Op):
     instructions: int = 1
 
     def execute(self, machine, ctx):
-        return machine.compute_latency(ctx, self.instructions)
+        # Body of Machine.compute_latency, inlined: Compute is the
+        # single most frequent operation and the trampoline call frame
+        # was a measurable share of the step loop.
+        instructions = self.instructions
+        if instructions <= 0:
+            return 0.0
+        stats = machine.stats
+        if ctx.is_engine:
+            if stats._phase is None:
+                stats.counters["engine.instructions"] += instructions
+            else:
+                stats.add("engine.instructions", instructions)
+            engine = machine._engine_cfg
+            if engine.ideal:
+                return 0.0
+            return instructions * engine.pe_latency / engine.issue_width
+        if stats._phase is None:
+            stats.counters["core.instructions"] += instructions
+        else:
+            stats.add("core.instructions", instructions)
+        return instructions / machine._core_cfg.ipc
 
 
-@dataclass
+@dataclass(slots=True)
 class Branch(Op):
     """A conditional branch; mispredictions cost pipeline refill time.
 
@@ -88,7 +118,7 @@ class Branch(Op):
         return latency
 
 
-@dataclass
+@dataclass(slots=True)
 class Load(Op):
     """Load ``size`` bytes at ``addr``.
 
@@ -103,18 +133,18 @@ class Load(Op):
     apply: object = field(default=None, compare=False)
 
     def execute(self, machine, ctx):
-        return machine.hierarchy.access(
+        return machine.hierarchy.access_latency(
             ctx.tile,
             self.addr,
             self.size,
-            is_write=False,
-            engine=ctx.is_engine,
-            apply=self.apply,
-            near_memory=getattr(ctx, "near_memory", False),
-        ).latency
+            False,
+            ctx.is_engine,
+            self.apply,
+            ctx.near_memory,
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class Store(Op):
     """Store ``size`` bytes at ``addr``.
 
@@ -128,18 +158,18 @@ class Store(Op):
     apply: object = field(default=None, compare=False)
 
     def execute(self, machine, ctx):
-        return machine.hierarchy.access(
+        return machine.hierarchy.access_latency(
             ctx.tile,
             self.addr,
             self.size,
-            is_write=True,
-            engine=ctx.is_engine,
-            apply=self.apply,
-            near_memory=getattr(ctx, "near_memory", False),
-        ).latency
+            True,
+            ctx.is_engine,
+            self.apply,
+            ctx.near_memory,
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class AtomicRMW(Op):
     """An atomic read-modify-write on ``size`` bytes at ``addr``.
 
@@ -155,15 +185,15 @@ class AtomicRMW(Op):
     apply: object = field(default=None, compare=False)
 
     def execute(self, machine, ctx):
-        latency = machine.hierarchy.access(
+        latency = machine.hierarchy.access_latency(
             ctx.tile,
             self.addr,
             self.size,
-            is_write=True,
-            engine=ctx.is_engine,
-            apply=self.apply,
-            near_memory=getattr(ctx, "near_memory", False),
-        ).latency
+            True,
+            ctx.is_engine,
+            self.apply,
+            ctx.near_memory,
+        )
         machine.stats.add("core.atomics" if not ctx.is_engine else "engine.atomics")
         if self.fenced and not ctx.is_engine:
             machine.stats.add("core.fences")
@@ -171,7 +201,7 @@ class AtomicRMW(Op):
         return latency
 
 
-@dataclass
+@dataclass(slots=True)
 class Fence(Op):
     """A full memory fence on a core."""
 
@@ -182,7 +212,7 @@ class Fence(Op):
         return machine.config.core.fence_penalty
 
 
-@dataclass
+@dataclass(slots=True)
 class Sleep(Op):
     """Advance the context's local clock by ``cycles`` without work."""
 
@@ -192,7 +222,7 @@ class Sleep(Op):
         return max(0, int(self.cycles))
 
 
-@dataclass
+@dataclass(slots=True)
 class SetPhase(Op):
     """Mark entry into a named execution phase for per-phase stats."""
 
@@ -203,7 +233,7 @@ class SetPhase(Op):
         return 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Wait(Op):
     """Block until ``condition`` is signalled; resumes with the wake value."""
 
@@ -213,7 +243,7 @@ class Wait(Op):
         raise Park(self.condition)
 
 
-@dataclass
+@dataclass(slots=True)
 class Prefetch(Op):
     """A software prefetch hint: warms caches without blocking.
 
@@ -224,7 +254,7 @@ class Prefetch(Op):
     size: int = 64
 
     def execute(self, machine, ctx):
-        machine.hierarchy.access(
-            ctx.tile, self.addr, self.size, is_write=False, engine=ctx.is_engine
+        machine.hierarchy.access_latency(
+            ctx.tile, self.addr, self.size, False, ctx.is_engine
         )
         return 1

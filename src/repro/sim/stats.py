@@ -32,6 +32,8 @@ class Stats:
     execution phases (used by Fig. 21's per-phase DRAM breakdown).
     """
 
+    __slots__ = ("counters", "_phase")
+
     def __init__(self):
         self.counters = Counter()
         self._phase = None

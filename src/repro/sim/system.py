@@ -15,7 +15,7 @@ from repro.sim.energy import EnergyModel
 from repro.sim.events import EventBus
 from repro.sim.faults import notify_machine_created as notify_fault_session
 from repro.sim.hierarchy import Hierarchy
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import make_scheduler
 from repro.sim.stats import Stats
 from repro.sim.telemetry.session import notify_machine_created
 from repro.sim.thread import InlineContext
@@ -25,6 +25,26 @@ from repro.sim.tile import Tile
 class Machine:
     """One simulated tiled multicore (Table V)."""
 
+    # Slotted: every operation's execute() loads several attributes off
+    # the machine, and slot access skips the instance-dict lookup.
+    __slots__ = (
+        "config",
+        "stats",
+        "events",
+        "hierarchy",
+        "scheduler",
+        "_core_cfg",
+        "_engine_cfg",
+        "address_space",
+        "energy_model",
+        "mem",
+        "tiles",
+        "engines",
+        "leviathan",
+        "_cid",
+        "faults",
+    )
+
     def __init__(self, config, energy_params=None):
         self.config = config
         self.stats = Stats()
@@ -33,7 +53,11 @@ class Machine:
         #: hierarchy so every component can cache the reference.
         self.events = EventBus()
         self.hierarchy = Hierarchy(self)
-        self.scheduler = Scheduler(self)
+        self.scheduler = make_scheduler(self)
+        # Hot-path dispatch caches: sub-config references resolved once
+        # (``compute_latency`` runs once per Compute/Branch op).
+        self._core_cfg = config.core
+        self._engine_cfg = config.engine
         self.address_space = AddressSpace(config.line_size)
         self.energy_model = EnergyModel(
             params=energy_params, ideal_engine=config.engine.ideal
@@ -92,7 +116,7 @@ class Machine:
             op = next(program)
             while True:
                 latency += op.execute(self, ctx)
-                op = program.send(getattr(op, "result", None))
+                op = program.send(op.result)
         except StopIteration as stop:
             result = getattr(stop, "value", None)
         return latency, result
@@ -123,14 +147,21 @@ class Machine:
         """Latency of ``instructions`` on the context's compute resource."""
         if instructions <= 0:
             return 0.0
+        stats = self.stats
         if ctx.is_engine:
-            self.stats.add("engine.instructions", instructions)
-            if self.config.engine.ideal:
+            if stats._phase is None:
+                stats.counters["engine.instructions"] += instructions
+            else:
+                stats.add("engine.instructions", instructions)
+            engine = self._engine_cfg
+            if engine.ideal:
                 return 0.0
-            engine = self.config.engine
             return instructions * engine.pe_latency / engine.issue_width
-        self.stats.add("core.instructions", instructions)
-        return instructions / self.config.core.ipc
+        if stats._phase is None:
+            stats.counters["core.instructions"] += instructions
+        else:
+            stats.add("core.instructions", instructions)
+        return instructions / self._core_cfg.ipc
 
     def wake_all(self, condition, value=None, at_time=None):
         return self.scheduler.wake_all(condition, value=value, at_time=at_time)
@@ -164,7 +195,7 @@ class Machine:
             lines.append(f"  ... and {len(parked) - 32} more")
 
         runnable = {}
-        for time, _seq, ctx, _resume in sched._heap:
+        for ctx, time in sched.runnable_snapshot():
             if not ctx.done and ctx not in runnable:
                 runnable[ctx] = time
         if sched.current is not None and not sched.current.done:

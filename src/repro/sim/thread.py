@@ -32,6 +32,9 @@ class Context:
         "on_done",
         "parked_on",
         "near_memory",
+        "send_value",
+        "retry_op",
+        "send",
     )
 
     def __init__(self, program, tile, name=None, is_engine=False, engine=None, at_time=0.0):
@@ -52,6 +55,16 @@ class Context:
         #: Near-memory task (Sec. IX extension): uncached accesses go
         #: straight to DRAM instead of through a distant LLC bank.
         self.near_memory = False
+        #: Scheduler resume state. A context sits in at most one run
+        #: list (or heap entry) at a time, so the value to send into the
+        #: generator -- and the operation to re-execute after a
+        #: retry-park -- live on the context itself instead of a
+        #: per-enqueue wrapper object.
+        self.send_value = None
+        self.retry_op = None
+        #: The generator's bound ``send``, resolved once: the scheduler
+        #: resumes the program through this on every dispatch.
+        self.send = program.send
 
     def __repr__(self):
         state = "done" if self.done else ("parked" if self.parked_on else "runnable")

@@ -227,3 +227,96 @@ def test_cache_line_repr_flags():
     assert "D" in repr(line)
     line.morph = True
     assert "M" in repr(line)
+
+
+class TestPerSetLruTicks:
+    """LRU replacement state is scoped per set (regression tests).
+
+    The tick was once a single cache-global counter; replacement only
+    ever compares lines within one set, so the clocks are per-set.
+    These tests pin the ordering contract, in particular under
+    ``index_shift`` aliasing, where distinct line numbers collapse onto
+    the same set and heavy traffic to *other* sets interleaves with the
+    set under test.
+    """
+
+    def test_lru_order_within_aliased_set(self):
+        # shift=2 on 4 sets: lines 0..3 and 16..19 both map to set 0.
+        cache = make_cache(sets=4, ways=2, shift=2)
+        assert cache.set_index(0) == cache.set_index(16) == 0
+        cache.insert(0)
+        cache.insert(16)  # set 0 now full: [0, 16]
+        cache.lookup(0)  # 0 is now most-recently used
+        victim = cache.insert(32)  # third alias of set 0
+        assert victim is not None and victim.line == 16
+
+    def test_foreign_set_traffic_does_not_perturb_lru(self):
+        cache = make_cache(sets=4, ways=2, shift=2)
+        cache.insert(0)
+        cache.insert(16)
+        cache.lookup(0)
+        # Hammer every other set; none of this may reorder set 0.
+        for round_ in range(50):
+            for set_idx in (1, 2, 3):
+                cache.insert((set_idx << 2) + (round_ % 4) * 16)
+                cache.lookup((set_idx << 2))
+        victim = cache.insert(32)
+        assert victim.line == 16
+
+    def test_untouched_probe_does_not_promote(self):
+        cache = make_cache(sets=4, ways=2, shift=2)
+        cache.insert(0)
+        cache.insert(16)
+        cache.lookup(0)
+        cache.lookup(16, touch=False)  # probe: must not promote 16
+        victim = cache.insert(32)
+        assert victim.line == 16
+
+    def test_reinsert_counts_as_touch(self):
+        cache = make_cache(sets=4, ways=2, shift=2)
+        cache.insert(0)
+        cache.insert(16)
+        cache.insert(0)  # re-insert: flag merge, but also an LRU touch
+        victim = cache.insert(32)
+        assert victim.line == 16
+
+    def test_ticks_are_per_set(self):
+        cache = make_cache(sets=4, ways=2, shift=2)
+        cache.insert(0)  # set 0
+        cache.insert(4)  # set 1
+        cache.insert(4)
+        cache.insert(4)
+        assert cache._ticks[0] == 1
+        assert cache._ticks[1] == 3
+        assert cache._ticks[2] == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shift=st.integers(min_value=0, max_value=4),
+        touches=st.lists(st.integers(min_value=0, max_value=7), min_size=2, max_size=40),
+    )
+    def test_property_victim_is_least_recently_touched(self, shift, touches):
+        """With aliasing, the victim is always the set's true LRU line."""
+        ways = 4
+        cache = make_cache(sets=2, ways=ways, shift=shift)
+        # Lines that all alias onto set 0 regardless of shift.
+        aliases = [i << (shift + 1) for i in range(8)]
+        last_touch = {}
+        clock = 0
+        for i in touches:
+            line = aliases[i]
+            clock += 1
+            if cache.contains(line):
+                cache.lookup(line)
+                last_touch[line] = clock
+            else:
+                victim = cache.insert(line)
+                last_touch[line] = clock
+                if victim is not None:
+                    # The victim must be the least-recently-touched of
+                    # the lines resident before this insert.
+                    resident_before = set(last_touch) - {line}
+                    assert victim.line == min(
+                        resident_before, key=lambda l: last_touch[l]
+                    )
+                    del last_touch[victim.line]
