@@ -25,6 +25,14 @@ telemetry directory when one is given.
 ``profile.pstats``, and ``stacks.folded`` beside each run's telemetry
 artifacts.
 
+Observability (see ``docs/observability.md``): ``--flight-recorder [N]``
+arms a bounded event ring in every worker that drains into
+``postmortem.json`` when a run dies; ``--log FILE`` appends structured
+JSONL lifecycle records; multi-worker sweeps write per-run heartbeat
+files that ``leviathan-repro status <cache-dir>`` tails from another
+terminal; sweeps with ``--telemetry-out`` finish by aggregating every
+run into ``dashboard.md`` / ``dashboard.json``.
+
 ``leviathan-repro bench`` runs the host-performance lab
 (:mod:`repro.perf`): the registered micro/macro benchmarks with
 ``--trials``/``--warmup``, writing ``BENCH_<git-sha>.json`` into
@@ -86,12 +94,15 @@ def main(argv=None):
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', 'list' (default), 'telemetry', or 'bench'",
+        help="experiment name, 'all', 'list' (default), 'telemetry', "
+        "'status', or 'bench'",
     )
     parser.add_argument(
         "target",
         nargs="?",
-        help="for 'telemetry': the --telemetry-out directory to summarize",
+        help="for 'telemetry': the --telemetry-out directory to summarize; "
+        "for 'status': the cache dir of the sweep to watch "
+        "(default: --cache-dir)",
     )
     parser.add_argument(
         "--no-check",
@@ -150,6 +161,22 @@ def main(argv=None):
         "writing profile.json / profile.pstats / stacks.folded per run "
         "under DIR (or beside --telemetry-out artifacts); for 'bench', "
         "profile each benchmark once after its timed trials",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        nargs="?",
+        const=256,
+        default=None,
+        type=int,
+        metavar="N",
+        help="keep the last N events (default 256) of every run in a ring "
+        "buffer; a failed run drains it into postmortem.json",
+    )
+    parser.add_argument(
+        "--log",
+        metavar="FILE",
+        help="append structured JSONL run logs (run.start/run.end/faults/"
+        "watchdog records, correlated by run id and spec hash) to FILE",
     )
     bench_group = parser.add_argument_group("bench (host-performance lab)")
     bench_group.add_argument(
@@ -214,6 +241,13 @@ def main(argv=None):
         print(text)
         return 0 if ok else 1
 
+    if args.experiment == "status":
+        from repro.experiments.monitor import render_status
+
+        text, ok = render_status(args.target or args.cache_dir)
+        print(text)
+        return 0 if ok else 1
+
     from repro.experiments.plotting import speedup_chart
 
     if args.faults:
@@ -231,6 +265,8 @@ def main(argv=None):
         telemetry_dir=args.telemetry_out,
         profile_dir=args.profile,
         faults=args.faults,
+        flightrec=args.flight_recorder,
+        log_path=args.log,
     )
 
     names = registry.names() if args.experiment == "all" else [args.experiment]
@@ -312,6 +348,13 @@ def main(argv=None):
             handle.write("# Reproduced tables and figures\n\n")
             handle.write("\n".join(markdown_sections))
         print(f"wrote {args.markdown}")
+    if args.telemetry_out:
+        summary = pool.write_dashboard()
+        if summary is not None:
+            print(
+                f"dashboard: {summary['runs']} run(s) aggregated -> "
+                f"{os.path.join(args.telemetry_out, 'dashboard.md')}"
+            )
     if crashed:
         print(f"CRASHED: {', '.join(crashed)}", file=sys.stderr)
         return 1

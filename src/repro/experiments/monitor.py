@@ -1,0 +1,357 @@
+"""Live pool monitoring: heartbeats, the sweep poller, and ``status``.
+
+A long ``--jobs N`` sweep used to be a black box until the manifest was
+written. This module opens three windows into a running fleet:
+
+- **Heartbeats** (worker side): every executing run writes a small JSON
+  file ``<cache-dir>/heartbeats/<hash12>.json`` at a configurable
+  cadence (default 1 s of wall time) carrying the run's phase, its
+  simulated time, and instruction counts. Writes are atomic
+  (``tmp`` + ``os.replace``), so a reader never sees a torn file, and a
+  final beat with phase ``done``/``error`` marks completion. The writer
+  is a daemon thread sampling the worker's live machine (registered via
+  :func:`repro.sim.system.add_machine_observer`); it only *reads*
+  scheduler time and stats counters, so the simulation stays
+  bit-identical.
+
+- **The pool poller** (:class:`PoolMonitor`): while an
+  :class:`~repro.experiments.pool.ExperimentPool` executes, a thread
+  aggregates heartbeats + completion counts into a single live TTY
+  progress line (lithops-style job monitor).
+
+- **``leviathan-repro status <dir>``** (:func:`render_status`): tails
+  the heartbeats and the manifest journal of a sweep *from another
+  terminal*, reporting per-run progress, completed/cached/failed
+  counts, and stale workers (heartbeat older than
+  ``STALE_AFTER_INTERVALS`` x its own cadence -- the signature of a
+  hung or killed worker).
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.sim.system import add_machine_observer, remove_machine_observer
+from repro.sim.telemetry.log import get_logger
+
+_log = get_logger("monitor")
+
+#: Heartbeat payload layout version.
+HEARTBEAT_SCHEMA = 1
+
+#: Subdirectory of the cache dir holding one heartbeat file per run.
+HEARTBEAT_DIRNAME = "heartbeats"
+
+#: Default seconds between beats.
+DEFAULT_INTERVAL = 1.0
+
+#: A live-phase heartbeat older than this many intervals is stale.
+STALE_AFTER_INTERVALS = 5.0
+
+#: Phases that mark a heartbeat as finished rather than live.
+TERMINAL_PHASES = ("done", "error")
+
+
+def heartbeat_dir(root):
+    return os.path.join(root, HEARTBEAT_DIRNAME)
+
+
+# ----------------------------------------------------------------------
+# worker side: the heartbeat writer
+# ----------------------------------------------------------------------
+class HeartbeatWriter:
+    """Beat one run's progress into ``<dir>/<hash12>.json``.
+
+    The writer observes every machine its worker process builds while
+    running (the run's simulator, usually exactly one) and samples the
+    most recent one's scheduler clock and instruction counters --
+    read-only, cross-thread, which CPython's GIL makes safe for the
+    plain attribute and dict reads involved.
+    """
+
+    def __init__(self, directory, run_hash, label, interval=DEFAULT_INTERVAL):
+        self.directory = directory
+        self.run_hash = run_hash
+        self.label = label
+        self.interval = max(0.05, float(interval))
+        self.path = os.path.join(directory, f"{run_hash[:12]}.json")
+        self.phase = "setup"
+        self.started = time.time()
+        self._machines = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{run_hash[:12]}", daemon=True
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self):
+        os.makedirs(self.directory, exist_ok=True)
+        add_machine_observer(self._on_machine)
+        self.beat()
+        self._thread.start()
+        return self
+
+    def stop(self, phase="done"):
+        """Final beat with a terminal phase; the thread exits."""
+        remove_machine_observer(self._on_machine)
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=2 * self.interval)
+        self.beat(phase=phase)
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, *exc):
+        self.stop(phase="error" if exc_type is not None else "done")
+        return False
+
+    def _on_machine(self, machine):
+        self._machines.append(machine)
+
+    def _loop(self):
+        while not self._stop.wait(self.interval):
+            try:
+                self.beat()
+            except OSError:
+                pass  # a beat must never kill the run it observes
+
+    # -- the beat -------------------------------------------------------
+    def sample(self):
+        """The live progress fields read off the newest machine."""
+        if not self._machines:
+            return {"sim_time": None, "instructions": None, "machines": 0}
+        machine = self._machines[-1]
+        counters = machine.stats.counters
+        return {
+            "sim_time": machine.scheduler.now,
+            "instructions": counters.get("core.instructions", 0)
+            + counters.get("engine.instructions", 0),
+            "machines": len(self._machines),
+        }
+
+    def beat(self, phase=None):
+        if phase is not None:
+            self.phase = phase
+        now = time.time()
+        payload = {
+            "schema": HEARTBEAT_SCHEMA,
+            "kind": "leviathan-heartbeat",
+            "hash": self.run_hash,
+            "label": self.label,
+            "pid": os.getpid(),
+            "phase": self.phase,
+            "interval": self.interval,
+            "started": self.started,
+            "updated": now,
+            "elapsed": now - self.started,
+        }
+        payload.update(self.sample())
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# reader side: heartbeats + manifest -> sweep state
+# ----------------------------------------------------------------------
+def read_heartbeats(root):
+    """Every parseable heartbeat under ``root`` (torn files skipped)."""
+    directory = heartbeat_dir(root)
+    beats = []
+    try:
+        names = sorted(os.listdir(directory))
+    except (FileNotFoundError, NotADirectoryError):
+        return beats
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue  # mid-replace or torn: the next poll will see it
+        if isinstance(payload, dict) and payload.get("kind") == "leviathan-heartbeat":
+            beats.append(payload)
+    return beats
+
+
+def read_manifest(root):
+    """Manifest entries under ``root`` (torn final line tolerated)."""
+    entries = []
+    try:
+        with open(os.path.join(root, "manifest.jsonl")) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue  # killed mid-append
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def summarize_sweep(root, now=None):
+    """The live state of one sweep directory, machine-readable.
+
+    Manifest entries are ground truth for finished runs; heartbeats
+    cover the in-flight ones. A run with a live-phase heartbeat *and* a
+    manifest entry is finished (the worker died before its final beat,
+    or the beat lost the race) -- the manifest wins.
+    """
+    now = time.time() if now is None else now
+    manifest = read_manifest(root)
+    finished_hashes = {entry.get("hash") for entry in manifest}
+    counts = {"ok": 0, "error": 0, "cached": 0}
+    for entry in manifest:
+        if entry.get("cached"):
+            counts["cached"] += 1
+        elif entry.get("status") == "ok":
+            counts["ok"] += 1
+        else:
+            counts["error"] += 1
+    running, stale, finished_beats = [], [], []
+    for beat in read_heartbeats(root):
+        if beat.get("phase") in TERMINAL_PHASES or beat.get("hash") in finished_hashes:
+            finished_beats.append(beat)
+            continue
+        age = now - beat.get("updated", 0)
+        horizon = STALE_AFTER_INTERVALS * beat.get("interval", DEFAULT_INTERVAL)
+        (stale if age > horizon else running).append(dict(beat, age=age))
+    failures = [entry for entry in manifest if entry.get("status") not in (None, "ok")]
+    return {
+        "root": root,
+        "exists": os.path.isdir(root),
+        "manifest_entries": len(manifest),
+        "counts": counts,
+        "running": running,
+        "stale": stale,
+        "finished_heartbeats": len(finished_beats),
+        "failures": failures[-5:],
+    }
+
+
+def _fmt_sim_time(value):
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+def _beat_line(beat):
+    return (
+        f"{beat.get('label', '?')}  phase={beat.get('phase', '?')}"
+        f"  t={_fmt_sim_time(beat.get('sim_time'))}"
+        f"  up {beat.get('elapsed', 0.0):.1f}s  (pid {beat.get('pid', '?')})"
+    )
+
+
+def render_status(root, now=None):
+    """Human-readable sweep status; returns ``(text, ok)``.
+
+    ``ok`` is False only when ``root`` is not a directory -- an empty
+    or mid-write sweep still renders (that is the whole point: this is
+    safe to run concurrently with the sweep it watches).
+    """
+    summary = summarize_sweep(root, now=now)
+    if not summary["exists"]:
+        return f"no sweep directory at {root}", False
+    counts = summary["counts"]
+    lines = [
+        f"sweep: {root}",
+        f"  manifest: {summary['manifest_entries']} entr(ies) -- "
+        f"{counts['ok']} ok, {counts['cached']} cached, {counts['error']} failed",
+    ]
+    if summary["running"]:
+        lines.append(f"  running ({len(summary['running'])}):")
+        for beat in summary["running"]:
+            lines.append(f"    {_beat_line(beat)}")
+    else:
+        lines.append("  running (0)")
+    if summary["stale"]:
+        lines.append(f"  stale ({len(summary['stale'])}) -- worker hung or killed?")
+        for beat in summary["stale"]:
+            lines.append(f"    {_beat_line(beat)}  last beat {beat['age']:.0f}s ago")
+    for entry in summary["failures"]:
+        error = entry.get("error", {})
+        lines.append(
+            f"  failed: {entry.get('label', '?')}: "
+            f"{error.get('type', '?')}: {error.get('message', '')}"
+        )
+    return "\n".join(lines), True
+
+
+# ----------------------------------------------------------------------
+# the pool's monitoring poller (TTY progress line)
+# ----------------------------------------------------------------------
+class PoolMonitor:
+    """Aggregate heartbeats into one live progress line while a sweep
+    executes. Owned by :class:`~repro.experiments.pool.ExperimentPool`;
+    rendering goes to ``stream`` (stderr by default) and is rewritten
+    in place with ``\\r``."""
+
+    def __init__(self, pool, root, stream=None, interval=0.5):
+        self.pool = pool
+        self.root = root
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread = None
+        self._width = 0
+
+    def start(self):
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="pool-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2 * self.interval)
+            self._thread = None
+        self._render(final=True)
+        return self
+
+    def _loop(self):
+        while not self._stop.wait(self.interval):
+            try:
+                self._render()
+            except (OSError, ValueError):
+                pass  # monitoring must never take the sweep down
+
+    def _render(self, final=False):
+        done, total = self.pool.progress()
+        running = [
+            beat
+            for beat in read_heartbeats(self.root)
+            if beat.get("phase") not in TERMINAL_PHASES
+        ]
+        detail = ", ".join(
+            f"{beat.get('label', '?')} t={_fmt_sim_time(beat.get('sim_time'))}"
+            for beat in running[:3]
+        )
+        if len(running) > 3:
+            detail += f", +{len(running) - 3} more"
+        line = f"pool: {done}/{total} done"
+        if detail:
+            line += f" | running: {detail}"
+        self._width = max(self._width, len(line))
+        self.stream.write("\r" + line.ljust(self._width))
+        if final:
+            self.stream.write("\n")
+        self.stream.flush()

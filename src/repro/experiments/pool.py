@@ -39,7 +39,10 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.sim.telemetry.log import ensure_run_logging, get_logger, new_run_id
 from repro.workloads.common import RunResult, StudyResult
+
+_log = get_logger("pool")
 
 #: Bump when the cached-payload layout changes; old entries then miss.
 SCHEMA_VERSION = 1
@@ -165,8 +168,25 @@ def _execute_job(job):
     }
     telemetry_session = None
     fault_session = None
+    flight_session = None
+    heartbeat = None
     profiler = None
+    if job.get("log_path"):
+        # Idempotent: fork-started workers inherit the parent's handler.
+        ensure_run_logging(job["log_path"], run_id=job.get("run_id"))
+    _log.info(
+        "run.start", extra={"hash": job["hash"], "label": job["label"], "fn": job["fn"]}
+    )
     try:
+        if job.get("heartbeat"):
+            from repro.experiments.monitor import HeartbeatWriter
+
+            heartbeat = HeartbeatWriter(
+                job["heartbeat"]["dir"],
+                job["hash"],
+                job["label"],
+                interval=job["heartbeat"]["interval"],
+            ).start()
         module_name, _, fn_name = job["fn"].partition(":")
         fn = getattr(importlib.import_module(module_name), fn_name)
         if job.get("faults"):
@@ -177,16 +197,26 @@ def _execute_job(job):
             from repro.sim.telemetry import TelemetrySession
 
             telemetry_session = TelemetrySession().install()
+        if job.get("flightrec"):
+            from repro.sim.telemetry.flightrec import FlightRecorderSession
+
+            flight_session = FlightRecorderSession(job["flightrec"]).install()
         if job.get("profile"):
             from repro.perf.profile import ProfileHarness
 
             profiler = ProfileHarness()
         try:
+            if heartbeat is not None:
+                heartbeat.beat(phase="simulating")
             if profiler is not None:
                 result = profiler.run(fn, **job["kwargs"])
             else:
                 result = fn(**job["kwargs"])
         finally:
+            if heartbeat is not None:
+                heartbeat.phase = "artifacts"
+            if flight_session is not None:
+                flight_session.uninstall()
             if telemetry_session is not None:
                 telemetry_session.uninstall()
             if fault_session is not None:
@@ -199,6 +229,25 @@ def _execute_job(job):
             "message": str(exc),
             "traceback": traceback.format_exc(),
         }
+        _log.error(
+            "run.error",
+            extra={
+                "hash": job["hash"],
+                "label": job["label"],
+                "error": type(exc).__name__,
+                "error_message": str(exc),  # "message" is reserved by logging
+            },
+        )
+        # The flight recorder's whole purpose: a crash leaves evidence.
+        if flight_session is not None and job.get("postmortem_dir"):
+            try:
+                path = flight_session.save_postmortem(job["postmortem_dir"], error=exc)
+                if path is not None:
+                    outcome["postmortem"] = path
+            except Exception as post_exc:
+                outcome["postmortem_error"] = (
+                    f"{type(post_exc).__name__}: {post_exc}"
+                )
     # Per-run artifacts (telemetry traces, fault reports) are written by
     # the worker -- it owns the sessions; partial artifacts from a
     # crashed run are kept for debugging.
@@ -218,6 +267,20 @@ def _execute_job(job):
     if fault_session is not None:
         outcome["faults_injected"] = fault_session.total_injected
     outcome["elapsed"] = time.perf_counter() - started
+    if heartbeat is not None:
+        try:
+            heartbeat.stop(phase="done" if outcome["status"] == "ok" else "error")
+        except OSError:
+            pass
+    _log.info(
+        "run.end",
+        extra={
+            "hash": job["hash"],
+            "label": job["label"],
+            "status": outcome["status"],
+            "elapsed": outcome["elapsed"],
+        },
+    )
     return outcome
 
 
@@ -273,6 +336,25 @@ class ExperimentPool:
         A fault-plan spec string armed on every machine each worker
         builds. Part of the content hash -- faulted results never
         collide with clean ones.
+    flightrec:
+        Ring capacity (events per machine) for a flight recorder armed
+        in every executing worker. On a failed run the ring drains into
+        ``postmortem.json`` under the run's artifact directory (or
+        ``<cache-dir>/postmortems/<slug>/`` without one). Unlike
+        telemetry capture it does NOT force execution -- cached results
+        stay served from cache (a cached ``ok`` needs no postmortem).
+    log_path:
+        JSONL run-log file; the pool and every worker append lifecycle
+        records (``run.start``/``run.end``/``run.error``) to it,
+        correlated by ``run_id`` and spec hash.
+    heartbeat_interval:
+        Seconds between per-run heartbeat files under
+        ``<cache-dir>/heartbeats/``. ``None`` enables heartbeats at the
+        default cadence only for multi-worker sweeps (``jobs > 1``);
+        pass a number to force them on (needs a cache dir either way).
+    progress:
+        Render a live progress line on stderr while the sweep executes.
+        ``None`` auto-enables it for multi-worker sweeps on a TTY.
     """
 
     def __init__(
@@ -284,6 +366,10 @@ class ExperimentPool:
         telemetry_dir=None,
         profile_dir=None,
         faults=None,
+        flightrec=None,
+        log_path=None,
+        heartbeat_interval=None,
+        progress=None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache_dir = cache_dir
@@ -291,11 +377,21 @@ class ExperimentPool:
         self.telemetry_dir = telemetry_dir
         self.profile_dir = profile_dir
         self.faults = faults
+        self.flightrec = int(flightrec) if flightrec else None
+        self.log_path = log_path
+        self.heartbeat_interval = heartbeat_interval
+        self.progress_mode = progress
+        self.run_id = new_run_id()
         #: Outcomes of every failed spec across the pool's lifetime.
         self.failures = []
         self._memory = {}
         self._report = {}
+        self._pending_done = 0
+        self._pending_total = 0
+        self._log_handle = None
         self._resumed = self._load_manifest() if (resume and cache_dir) else set()
+        if log_path:
+            self._log_handle = ensure_run_logging(log_path, run_id=self.run_id)
 
     # -- journal and cache ---------------------------------------------
     def _manifest_path(self):
@@ -404,7 +500,48 @@ class ExperimentPool:
             job["profile"] = True
         if self.telemetry_dir or self.profile_dir:
             job["artifacts"] = self.run_dir(digest, job["label"])
+        if self.flightrec:
+            job["flightrec"] = self.flightrec
+            postmortem_dir = job.get("artifacts") or self._postmortem_dir(
+                digest, job["label"]
+            )
+            if postmortem_dir:
+                job["postmortem_dir"] = postmortem_dir
+        if self.log_path:
+            job["log_path"] = self.log_path
+            job["run_id"] = self.run_id
+        interval = self._heartbeat_interval()
+        if interval is not None:
+            from repro.experiments.monitor import heartbeat_dir
+
+            job["heartbeat"] = {
+                "dir": heartbeat_dir(self.cache_dir),
+                "interval": interval,
+            }
         return job
+
+    def _heartbeat_interval(self):
+        """The heartbeat cadence, or None when heartbeats are off.
+
+        Heartbeats live under the cache dir; without one there is
+        nowhere for ``status`` to look, so they stay off. An explicit
+        interval forces them on; otherwise only fanned-out sweeps beat
+        (inline test/benchmark runs skip the writer thread).
+        """
+        if not self.cache_dir:
+            return None
+        if self.heartbeat_interval is not None:
+            return float(self.heartbeat_interval)
+        from repro.experiments.monitor import DEFAULT_INTERVAL
+
+        return DEFAULT_INTERVAL if self.jobs > 1 else None
+
+    def _postmortem_dir(self, digest, label):
+        """Postmortem home when no artifact directory is configured."""
+        if not self.cache_dir:
+            return None
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-")[:60]
+        return os.path.join(self.cache_dir, "postmortems", f"{slug}-{digest[:12]}")
 
     def run_dir(self, digest, label):
         """Artifact directory for one run under the artifact root.
@@ -457,6 +594,15 @@ class ExperimentPool:
     def _execute(self, pending):
         if not pending:
             return
+        self._pending_done, self._pending_total = 0, len(pending)
+        monitor = self._start_monitor()
+        try:
+            self._execute_pending(pending)
+        finally:
+            if monitor is not None:
+                monitor.stop()
+
+    def _execute_pending(self, pending):
         if self.jobs == 1 or len(pending) == 1:
             for job in pending:
                 self._finish(_execute_job(job))
@@ -485,10 +631,35 @@ class ExperimentPool:
                             "traceback": "",
                         },
                     }
+                    _log.error(
+                        "run.worker_died",
+                        extra={
+                            "hash": job["hash"],
+                            "label": job["label"],
+                            "error": type(exc).__name__,
+                        },
+                    )
                 self._finish(outcome)
+
+    def _start_monitor(self):
+        import sys
+
+        enabled = self.progress_mode
+        if enabled is None:
+            enabled = self.jobs > 1 and sys.stderr.isatty()
+        if not enabled or not self.cache_dir:
+            return None
+        from repro.experiments.monitor import PoolMonitor
+
+        return PoolMonitor(self, self.cache_dir).start()
+
+    def progress(self):
+        """``(done, total)`` of the currently executing batch."""
+        return self._pending_done, self._pending_total
 
     def _finish(self, outcome):
         self._memory[outcome["hash"]] = outcome
+        self._pending_done += 1
         self._bump("executed")
         self._bump("telemetry_machines", outcome.get("telemetry_machines", 0))
         self._bump("faults_injected", outcome.get("faults_injected", 0))
@@ -522,6 +693,26 @@ class ExperimentPool:
             handle.write("\n")
 
     # -- reporting ------------------------------------------------------
+    def write_dashboard(self, root=None):
+        """Aggregate the sweep's per-run telemetry into the dashboard.
+
+        Writes ``dashboard.json`` + ``dashboard.md`` under ``root``
+        (default: the telemetry directory) and returns the summary dict,
+        or None when there is nothing to aggregate.
+        """
+        root = root or self.telemetry_dir
+        if not root:
+            return None
+        from repro.experiments.telemetry_report import write_dashboard
+
+        summary = write_dashboard(root)
+        if summary is not None:
+            _log.info(
+                "sweep.dashboard",
+                extra={"root": root, "runs": summary.get("runs", 0)},
+            )
+        return summary
+
     def _bump(self, key, amount=1):
         if amount:
             self._report[key] = self._report.get(key, 0) + amount

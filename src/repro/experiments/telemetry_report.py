@@ -40,15 +40,49 @@ def count_with_label(counters, name, label):
     return total
 
 
+def _read_json(path):
+    """``(payload, problem)`` -- problem is a string when the file is
+    missing, torn (killed mid-write), or not a JSON object."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None, f"missing {os.path.basename(path)}"
+    except (OSError, ValueError) as exc:
+        return None, f"unreadable {os.path.basename(path)}: {exc}"
+    if not isinstance(payload, dict):
+        return None, f"malformed {os.path.basename(path)}: not an object"
+    return payload, None
+
+
 def summarize_run(run_dir):
-    """The digest dict for one run directory (validates the trace)."""
-    trace, problems = load_and_validate(os.path.join(run_dir, "trace.json"))
-    with open(os.path.join(run_dir, "metrics.json")) as handle:
-        metrics = json.load(handle)
+    """The digest dict for one run directory (validates the trace).
+
+    A partially-written run -- a worker killed mid-sweep leaves a torn
+    ``trace.json`` or no ``metrics.json`` at all -- degrades to a digest
+    whose ``trace_problems`` names what is wrong, instead of raising and
+    taking the whole report down with it.
+    """
+    try:
+        trace, problems = load_and_validate(os.path.join(run_dir, "trace.json"))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        trace, problems = {"traceEvents": []}, [f"unreadable trace.json: {exc}"]
+    if not isinstance(trace.get("traceEvents"), list):
+        trace, problems = {"traceEvents": []}, problems + [
+            "malformed trace.json: no traceEvents list"
+        ]
+    metrics, metrics_problem = _read_json(os.path.join(run_dir, "metrics.json"))
+    if metrics is None:
+        metrics = {}
+        problems = problems + [metrics_problem]
     meta = metrics.get("meta", {})
     histograms = metrics.get("histograms", {})
     counters = metrics.get("counters", {})
-    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "b")
+    spans = sum(
+        1
+        for e in trace["traceEvents"]
+        if isinstance(e, dict) and e.get("ph") == "b"
+    )
     return {
         "dir": run_dir,
         "cycles": meta.get("cycles"),
@@ -94,6 +128,181 @@ def render(summary):
             f"({', '.join(names)})"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the sweep dashboard: one digest across every run of a sweep
+# ----------------------------------------------------------------------
+def _merge_histogram(dest, snap):
+    """Fold one histogram snapshot (bucket-bound -> count) into ``dest``."""
+    if not isinstance(snap, dict) or not snap.get("count"):
+        return
+    dest["count"] += snap.get("count", 0)
+    dest["sum"] += snap.get("sum", 0.0)
+    for bound, n in (snap.get("buckets") or {}).items():
+        dest["buckets"][bound] = dest["buckets"].get(bound, 0) + n
+    for field, pick in (("min", min), ("max", max)):
+        value = snap.get(field)
+        if value is not None:
+            dest[field] = value if dest[field] is None else pick(dest[field], value)
+
+
+def _bucket_percentile(buckets, count, p):
+    """Upper-bound ``p``-th percentile from merged bucket counts."""
+    if not count or not buckets:
+        return 0.0
+    rank = -(-count * p // 100)  # ceil without importing math
+    seen = 0
+    bounds = sorted(buckets, key=float)
+    for bound in bounds:
+        seen += buckets[bound]
+        if seen >= rank:
+            return float(bound)
+    return float(bounds[-1])
+
+
+def aggregate_sweep(root):
+    """Cross-run aggregation of one sweep's telemetry artifacts.
+
+    Counters are summed across runs (and grouped by subsystem -- the
+    dotted prefix of the family name); histograms merge their log2
+    buckets, so the tail percentiles are sweep-wide, not per-run; fault
+    injections and retries come from the telemetry counters plus each
+    run's ``fault_report.json`` when one was armed. Partially-written
+    runs degrade per :func:`summarize_run` and are tallied as problems.
+    """
+    runs = find_runs(root)
+    counters = {}
+    subsystems = {}
+    histograms = {}
+    cycles = []
+    faults_injected = 0
+    fault_reports_seen = set()
+    nacks = 0
+    runs_with_problems = 0
+    for run_dir in runs:
+        summary = summarize_run(run_dir)
+        if summary["trace_problems"]:
+            runs_with_problems += 1
+        if summary["cycles"] is not None:
+            cycles.append(summary["cycles"])
+        metrics, _problem = _read_json(os.path.join(run_dir, "metrics.json"))
+        metrics = metrics or {}
+        nacks += count_with_label(
+            metrics.get("counters") or {}, "engine.arrivals", 'outcome="nacked"'
+        )
+        for key, value in (metrics.get("counters") or {}).items():
+            base = key.partition("{")[0]
+            counters[base] = counters.get(base, 0) + value
+            prefix = base.split(".", 1)[0]
+            subsystems[prefix] = subsystems.get(prefix, 0) + value
+        for key, snap in (metrics.get("histograms") or {}).items():
+            base = key.partition("{")[0]
+            dest = histograms.setdefault(
+                base, {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}}
+            )
+            _merge_histogram(dest, snap)
+        # The fault session writes fault_report.json one level above the
+        # per-machine dirs (runs/<slug>/fault_report.json, beside
+        # machine-NN/); tolerate either placement, dedup by path.
+        for candidate in (run_dir, os.path.dirname(run_dir)):
+            path = os.path.join(candidate, "fault_report.json")
+            if path in fault_reports_seen:
+                continue
+            fault_report, _problem = _read_json(path)
+            if fault_report:
+                fault_reports_seen.add(path)
+                faults_injected += fault_report.get("total_injected") or sum(
+                    (fault_report.get("injected") or {}).values()
+                )
+    for hist in histograms.values():
+        count = hist["count"]
+        hist["mean"] = hist["sum"] / count if count else 0.0
+        for p in (50, 95, 99):
+            hist[f"p{p}"] = _bucket_percentile(hist["buckets"], count, p)
+    return {
+        "kind": "leviathan-dashboard",
+        "root": root,
+        "runs": len(runs),
+        "runs_with_problems": runs_with_problems,
+        "cycles": {
+            "total": sum(cycles),
+            "min": min(cycles) if cycles else None,
+            "max": max(cycles) if cycles else None,
+        },
+        "counters": dict(sorted(counters.items())),
+        "subsystems": dict(sorted(subsystems.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "faults_injected": faults_injected,
+        "retries": counters.get("invoke.retries_observed", 0),
+        "nacks": nacks,
+        "stalls": counters.get("invoke.stall_events", 0),
+        "watchdog_fired": counters.get("watchdog.fired", 0),
+    }
+
+
+def render_dashboard(agg):
+    """The markdown dashboard for one :func:`aggregate_sweep` digest."""
+    lines = [
+        f"# Sweep dashboard: {agg['root']}",
+        "",
+        f"- runs aggregated: **{agg['runs']}**"
+        + (
+            f" ({agg['runs_with_problems']} with problems)"
+            if agg["runs_with_problems"]
+            else ""
+        ),
+        f"- total simulated cycles: **{agg['cycles']['total']:.0f}**"
+        f" (min {agg['cycles']['min']}, max {agg['cycles']['max']})"
+        if agg["cycles"]["min"] is not None
+        else "- total simulated cycles: n/a",
+        f"- faults injected: **{agg['faults_injected']}**,"
+        f" retries observed: **{agg['retries']}**,"
+        f" NACKs: **{agg['nacks']}**,"
+        f" stall events: **{agg['stalls']}**,"
+        f" watchdog firings: **{agg['watchdog_fired']}**",
+        "",
+        "## Latency percentiles (sweep-wide)",
+        "",
+        "| histogram | n | mean | p50 | p95 | p99 | max |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, hist in agg["histograms"].items():
+        if not hist["count"]:
+            continue
+        lines.append(
+            f"| {name} | {hist['count']} | {hist['mean']:.1f} "
+            f"| {hist['p50']:.0f} | {hist['p95']:.0f} | {hist['p99']:.0f} "
+            f"| {hist['max']:.0f} |"
+        )
+    lines += [
+        "",
+        "## Per-subsystem counter totals",
+        "",
+        "| subsystem | total |",
+        "|---|---|",
+    ]
+    for name, total in agg["subsystems"].items():
+        lines.append(f"| {name} | {total} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_dashboard(root):
+    """Aggregate ``root`` and drop ``dashboard.json`` + ``dashboard.md``.
+
+    Returns the aggregate dict, or None when the sweep left no runs to
+    aggregate (nothing is written in that case).
+    """
+    agg = aggregate_sweep(root)
+    if not agg["runs"]:
+        return None
+    with open(os.path.join(root, "dashboard.json"), "w") as handle:
+        json.dump(agg, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(os.path.join(root, "dashboard.md"), "w") as handle:
+        handle.write(render_dashboard(agg))
+    return agg
 
 
 def report(root):

@@ -53,7 +53,10 @@ from repro.sim.events import (
     InvokeRetried,
     InvokeStalled,
 )
+from repro.sim.telemetry.log import get_logger
 from repro.sim.telemetry.spans import SpanTracker
+
+_log = get_logger("faults")
 
 
 class FaultPlanError(ValueError):
@@ -310,6 +313,10 @@ class FaultController:
                     f"rule {rule.spec()} targets tile {rule.tile} but the "
                     f"machine has {machine.config.n_tiles} tiles"
                 )
+        # Cached once per controller: per-injection DEBUG records are
+        # emitted only when a handler actually wants them (noc-delay
+        # plans inject thousands of times).
+        self._log_injections = _log.isEnabledFor(10)  # logging.DEBUG
         self._handlers = (
             (InvokeDispatched, self.spans.invoke_dispatched),
             (InvokeStalled, self.spans.invoke_stalled),
@@ -344,6 +351,10 @@ class FaultController:
                 at_time=rule.at_time,
             )
         self._attached = True
+        _log.info(
+            "faults.armed",
+            extra={"spec": self.plan.spec(), "rules": len(self.plan.rules)},
+        )
         return self
 
     def detach(self):
@@ -372,6 +383,16 @@ class FaultController:
         if machine.events.active:
             machine.events.emit(
                 FaultInjected(kind, where, machine.sim_time(), extra_cycles)
+            )
+        if self._log_injections:
+            _log.debug(
+                "faults.injected",
+                extra={
+                    "kind": kind,
+                    "where": where,
+                    "sim_time": machine.sim_time(),
+                    "extra_cycles": extra_cycles,
+                },
             )
 
     def _engine_rule_driver(self, rule):

@@ -31,7 +31,10 @@ import heapq
 
 from repro.sim.events import WatchdogFired
 from repro.sim.ops import Op, Park
+from repro.sim.telemetry.log import get_logger
 from repro.sim.thread import Context
+
+_log = get_logger("scheduler")
 
 
 class SimDeadlock(RuntimeError):
@@ -54,7 +57,16 @@ class DeadlockError(SimDeadlock):
       hung ``machine.run()`` forever.
 
     Subclasses :class:`SimDeadlock` so existing handlers keep working.
+
+    Instances carry structured post-mortem state: ``kind`` is
+    ``"drained"`` or ``"watchdog"``, and ``snapshot`` is the
+    :meth:`~repro.sim.system.Machine.stall_snapshot` dict captured at
+    raise time (what the flight recorder persists in
+    ``postmortem.json``).
     """
+
+    kind = "deadlock"
+    snapshot = None
 
 
 class Scheduler:
@@ -268,17 +280,44 @@ class Scheduler:
         self.current = None
         self._no_progress_ops = spin
         if self._parked:
-            raise DeadlockError(
-                "simulation deadlock; parked contexts: "
-                + ", ".join(
-                    f"{c.name} on {c.parked_on}" for c in sorted(
-                        self._parked, key=lambda c: c.ctid
-                    )
-                )
-                + "\n"
-                + self.machine.describe_stall()
-            )
+            self._raise_drained_deadlock()
         return self.now
+
+    # ------------------------------------------------------------------
+    # deadlock surfacing (both raise paths emit WatchdogFired, so the
+    # flight recorder and span trackers see every deadlock, not just
+    # watchdog-detected livelocks)
+    # ------------------------------------------------------------------
+    def _raise_drained_deadlock(self):
+        """The run queue drained with contexts still parked."""
+        machine = self.machine
+        machine.stats.add("deadlock.drained")
+        if machine.events.active:
+            machine.events.emit(
+                WatchdogFired(self._no_progress_ops, self.now, len(self._parked))
+            )
+        snapshot = machine.stall_snapshot()
+        _log.error(
+            "scheduler.deadlock",
+            extra={
+                "kind": "drained",
+                "sim_time": self.now,
+                "parked": len(self._parked),
+            },
+        )
+        error = DeadlockError(
+            "simulation deadlock; parked contexts: "
+            + ", ".join(
+                f"{c.name} on {c.parked_on}" for c in sorted(
+                    self._parked, key=lambda c: c.ctid
+                )
+            )
+            + "\n"
+            + machine.describe_stall()
+        )
+        error.kind = "drained"
+        error.snapshot = snapshot
+        raise error
 
     # ------------------------------------------------------------------
     # the watchdog
@@ -290,11 +329,24 @@ class Scheduler:
         machine.stats.add("watchdog.fired")
         if machine.events.active:
             machine.events.emit(WatchdogFired(steps, self.now, len(self._parked)))
-        raise DeadlockError(
+        snapshot = machine.stall_snapshot(steps=steps)
+        _log.error(
+            "scheduler.watchdog_fired",
+            extra={
+                "kind": "watchdog",
+                "sim_time": self.now,
+                "steps": steps,
+                "parked": len(self._parked),
+            },
+        )
+        error = DeadlockError(
             f"watchdog: no progress after {steps} operations at a frozen "
             f"t={self.now:.0f} (livelock or missed wake)\n"
             + machine.describe_stall(steps)
         )
+        error.kind = "watchdog"
+        error.snapshot = snapshot
+        raise error
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -347,16 +399,7 @@ class HeapScheduler(Scheduler):
             self._step(ctx)
         self.current = None
         if self._parked:
-            raise DeadlockError(
-                "simulation deadlock; parked contexts: "
-                + ", ".join(
-                    f"{c.name} on {c.parked_on}" for c in sorted(
-                        self._parked, key=lambda c: c.ctid
-                    )
-                )
-                + "\n"
-                + self.machine.describe_stall()
-            )
+            self._raise_drained_deadlock()
         return self.now
 
     def _step(self, ctx):

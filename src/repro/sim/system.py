@@ -21,6 +21,27 @@ from repro.sim.telemetry.session import notify_machine_created
 from repro.sim.thread import InlineContext
 from repro.sim.tile import Tile
 
+#: Generic machine-construction observers (beyond the telemetry and
+#: fault sessions): each callable receives every Machine built while
+#: registered. Used by the flight recorder and the heartbeat monitor;
+#: the list is empty by default, so an unobserved build pays one empty
+#: loop.
+_machine_observers = []
+
+
+def add_machine_observer(fn):
+    """Call ``fn(machine)`` for every machine built from now on."""
+    _machine_observers.append(fn)
+    return fn
+
+
+def remove_machine_observer(fn):
+    """Stop observing (no-op if ``fn`` was never registered)."""
+    try:
+        _machine_observers.remove(fn)
+    except ValueError:
+        pass
+
 
 class Machine:
     """One simulated tiled multicore (Table V)."""
@@ -84,6 +105,8 @@ class Machine:
         # or fault session (module-global checks; no-ops when inactive).
         notify_machine_created(self)
         notify_fault_session(self)
+        for observer in _machine_observers:
+            observer(self)
 
     # ------------------------------------------------------------------
     # execution
@@ -172,60 +195,113 @@ class Machine:
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
-    def describe_stall(self, steps=None):
-        """A human-readable dump of why the machine cannot progress.
+    def stall_snapshot(self, steps=None):
+        """A structured (JSON-ready) dump of why the machine is stuck.
 
-        Used by :class:`~repro.sim.scheduler.DeadlockError`: lists every
-        parked context with its awaited condition, runnable contexts,
-        engine and invoke-buffer state, and (when a fault controller is
-        attached) the open invoke spans -- the in-flight work at the
-        moment the watchdog fired.
+        The machine-readable twin of :meth:`describe_stall` -- the
+        flight recorder embeds it in ``postmortem.json`` so a crash in a
+        worker process hours ago can still be debugged field by field:
+        every parked context with its awaited condition, runnable
+        contexts, engine and invoke-buffer state, and (when a fault
+        controller is attached) the open invoke spans.
         """
         sched = self.scheduler
-        header = f"at t={sched.now:.0f}"
-        if steps is not None:
-            header += f" after {steps} operations without progress"
-        lines = [header]
-
         parked = sched.parked_contexts
-        lines.append(f"parked contexts ({len(parked)}):")
-        for ctx in parked[:32]:
-            lines.append(f"  - {ctx.name} [tile {ctx.tile}] waiting on {ctx.parked_on}")
-        if len(parked) > 32:
-            lines.append(f"  ... and {len(parked) - 32} more")
-
         runnable = {}
         for ctx, time in sched.runnable_snapshot():
             if not ctx.done and ctx not in runnable:
                 runnable[ctx] = time
-        if sched.current is not None and not sched.current.done:
-            lines.append(f"running: {sched.current.name} [tile {sched.current.tile}]")
-        lines.append(f"runnable contexts ({len(runnable)}):")
-        for ctx, time in sorted(runnable.items(), key=lambda item: item[0].ctid)[:16]:
-            lines.append(f"  - {ctx.name} [tile {ctx.tile}] at t={time:.0f}")
-
+        snapshot = {
+            "t": sched.now,
+            "steps_without_progress": steps,
+            "running": (
+                {"name": sched.current.name, "tile": sched.current.tile}
+                if sched.current is not None and not sched.current.done
+                else None
+            ),
+            "parked_total": len(parked),
+            "parked": [
+                {
+                    "name": ctx.name,
+                    "tile": ctx.tile,
+                    "condition": str(ctx.parked_on),
+                }
+                for ctx in parked[:32]
+            ],
+            "runnable_total": len(runnable),
+            "runnable": [
+                {"name": ctx.name, "tile": ctx.tile, "t": time}
+                for ctx, time in sorted(
+                    runnable.items(), key=lambda item: item[0].ctid
+                )[:16]
+            ],
+            "engines": [],
+            "invoke_buffers": {},
+            "open_invokes_total": 0,
+            "open_invokes": [],
+        }
         if self.leviathan is not None:
-            busy = [
+            snapshot["engines"] = [
                 repr(engine)
                 for engine in self.leviathan.engines
                 if engine.busy_offload or engine.queued_tasks or engine.failed
             ]
-            if busy:
-                lines.append("engines: " + ", ".join(busy))
-            occupied = [
-                f"tile{buffer.tile}={buffer.in_flight}"
+            snapshot["invoke_buffers"] = {
+                f"tile{buffer.tile}": buffer.in_flight
                 for buffer in self.leviathan.invoke_buffers
                 if buffer.in_flight
-            ]
-            if occupied:
-                lines.append("invoke buffers in flight: " + ", ".join(occupied))
-
+            }
         spans = getattr(self.faults, "spans", None)
         if spans is not None and spans.open_spans:
             open_spans = spans.open_spans
-            lines.append(f"in-flight invokes ({len(open_spans)}):")
-            for span in open_spans[:16]:
-                lines.append(f"  - {span!r}")
+            snapshot["open_invokes_total"] = len(open_spans)
+            snapshot["open_invokes"] = [repr(span) for span in open_spans[:16]]
+        return snapshot
+
+    def describe_stall(self, steps=None):
+        """A human-readable dump of why the machine cannot progress.
+
+        Used by :class:`~repro.sim.scheduler.DeadlockError`; rendered
+        from the same :meth:`stall_snapshot` fields that postmortems
+        persist, so the exception text and the artifact never disagree.
+        """
+        snap = self.stall_snapshot(steps=steps)
+        header = f"at t={snap['t']:.0f}"
+        if steps is not None:
+            header += f" after {steps} operations without progress"
+        lines = [header]
+
+        lines.append(f"parked contexts ({snap['parked_total']}):")
+        for ctx in snap["parked"]:
+            lines.append(
+                f"  - {ctx['name']} [tile {ctx['tile']}] waiting on {ctx['condition']}"
+            )
+        if snap["parked_total"] > len(snap["parked"]):
+            lines.append(
+                f"  ... and {snap['parked_total'] - len(snap['parked'])} more"
+            )
+
+        if snap["running"] is not None:
+            lines.append(
+                f"running: {snap['running']['name']} [tile {snap['running']['tile']}]"
+            )
+        lines.append(f"runnable contexts ({snap['runnable_total']}):")
+        for ctx in snap["runnable"]:
+            lines.append(f"  - {ctx['name']} [tile {ctx['tile']}] at t={ctx['t']:.0f}")
+
+        if snap["engines"]:
+            lines.append("engines: " + ", ".join(snap["engines"]))
+        if snap["invoke_buffers"]:
+            lines.append(
+                "invoke buffers in flight: "
+                + ", ".join(
+                    f"{tile}={count}" for tile, count in snap["invoke_buffers"].items()
+                )
+            )
+        if snap["open_invokes"]:
+            lines.append(f"in-flight invokes ({snap['open_invokes_total']}):")
+            for span in snap["open_invokes"]:
+                lines.append(f"  - {span}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

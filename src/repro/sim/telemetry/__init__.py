@@ -8,6 +8,15 @@ attribute load per potential emit and allocates nothing. Attach a
 builds (what ``--telemetry-out`` does).
 """
 
+from repro.sim.telemetry.flightrec import (
+    FlightRecorder,
+    FlightRecorderSession,
+)
+from repro.sim.telemetry.log import (
+    configure_run_logging,
+    get_logger,
+    set_log_context,
+)
 from repro.sim.telemetry.metrics import (
     Counter,
     Gauge,
@@ -30,6 +39,11 @@ from repro.sim.telemetry.session import (
 from repro.sim.telemetry.spans import Span, SpanTracker
 
 __all__ = [
+    "FlightRecorder",
+    "FlightRecorderSession",
+    "configure_run_logging",
+    "get_logger",
+    "set_log_context",
     "Counter",
     "Gauge",
     "LogHistogram",

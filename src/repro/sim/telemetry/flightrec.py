@@ -1,0 +1,281 @@
+"""The flight recorder: a bounded ring of recent events + postmortems.
+
+A :class:`FlightRecorder` subscribes one handler to every event type in
+the :mod:`repro.sim.events` vocabulary and keeps the **last N events**
+in a ring buffer (a ``deque(maxlen=N)``), so the cost of being attached
+is one append per event and memory stays bounded no matter how long the
+run is. Detached, nothing subscribes, the bus guard stays cold, and the
+simulation is bit-identical -- the same contract every telemetry
+subscriber honors.
+
+Its purpose is the *postmortem*: when a run dies -- a
+:class:`~repro.sim.scheduler.DeadlockError`, an unsurvivable fault
+plan, a worker crash -- :meth:`FlightRecorder.postmortem` drains the
+ring into a machine-readable dict combining
+
+- the last N events (type + fields, JSON-safe),
+- the structured stall state
+  (:meth:`~repro.sim.system.Machine.stall_snapshot`, preferring the
+  snapshot captured at raise time on the :class:`DeadlockError`),
+- a stats-counter snapshot, and
+- the fault controller's report when a plan was armed,
+
+which :meth:`save_postmortem` writes as ``postmortem.json``. The
+experiment pool arms a :class:`FlightRecorderSession` in every worker
+when ``--flight-recorder`` is set, so a crash that happened in a
+subprocess hours into a sweep still leaves structured evidence behind.
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.sim import events as _events
+from repro.sim.telemetry.log import get_logger
+
+_log = get_logger("flightrec")
+
+#: Postmortem payload layout version.
+POSTMORTEM_SCHEMA = 1
+
+#: Default ring capacity (events kept per machine).
+DEFAULT_CAPACITY = 256
+
+
+def event_vocabulary():
+    """Every event dataclass the bus can carry, sorted by name."""
+    types = [
+        obj
+        for obj in vars(_events).values()
+        if isinstance(obj, type) and dataclasses.is_dataclass(obj)
+    ]
+    return sorted(types, key=lambda t: t.__name__)
+
+
+def _json_safe(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+class FlightRecorder:
+    """Record the last ``capacity`` events of one machine."""
+
+    def __init__(self, machine, capacity=DEFAULT_CAPACITY, label=None):
+        from collections import deque
+
+        self.machine = machine
+        self.label = label
+        self.capacity = int(capacity)
+        self.ring = deque(maxlen=self.capacity)
+        self.events_seen = 0
+        self._types = tuple(event_vocabulary())
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # bus wiring
+    # ------------------------------------------------------------------
+    def attach(self):
+        if not self._attached:
+            for event_type in self._types:
+                self.machine.events.subscribe(event_type, self._record)
+            self._attached = True
+        return self
+
+    def detach(self):
+        """Stop recording (idempotent; the ring stays readable)."""
+        if self._attached:
+            for event_type in self._types:
+                self.machine.events.unsubscribe(event_type, self._record)
+            self._attached = False
+        return self
+
+    def _record(self, event):
+        self.events_seen += 1
+        self.ring.append(event)
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def recent_events(self):
+        """The ring as JSON-safe dicts, oldest first."""
+        out = []
+        for event in self.ring:
+            entry = {"type": type(event).__name__}
+            for field in dataclasses.fields(event):
+                entry[field.name] = _json_safe(getattr(event, field.name))
+            out.append(entry)
+        return out
+
+    def postmortem(self, reason=None, error=None):
+        """The machine-readable crash report for this machine.
+
+        ``reason`` overrides the classification derived from ``error``
+        (a :class:`~repro.sim.scheduler.DeadlockError` carries its own
+        ``kind``/``snapshot``; anything else is reported by type).
+        """
+        snapshot = None
+        if error is not None:
+            snapshot = getattr(error, "snapshot", None)
+            if reason is None:
+                reason = getattr(error, "kind", None) or type(error).__name__
+        if snapshot is None:
+            snapshot = self.machine.stall_snapshot()
+        faults = self.machine.faults
+        return {
+            "schema": POSTMORTEM_SCHEMA,
+            "kind": "leviathan-postmortem",
+            "reason": reason or "requested",
+            "label": self.label,
+            "error": (
+                {"type": type(error).__name__, "message": str(error)}
+                if error is not None
+                else None
+            ),
+            "sim_time": self.machine.scheduler.now,
+            "ring_capacity": self.capacity,
+            "events_seen": self.events_seen,
+            "events": self.recent_events(),
+            "stall": snapshot,
+            "stats": {
+                key: value
+                for key, value in sorted(self.machine.stats.counters.items())
+            },
+            "fault_report": faults.report() if faults is not None else None,
+        }
+
+    def save_postmortem(self, outdir, reason=None, error=None):
+        """Write ``postmortem.json`` into ``outdir``; returns the path."""
+        os.makedirs(outdir, exist_ok=True)
+        path = os.path.join(outdir, "postmortem.json")
+        payload = self.postmortem(reason=reason, error=error)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _log.info(
+            "flightrec.postmortem",
+            extra={
+                "path": path,
+                "reason": payload["reason"],
+                "events": len(payload["events"]),
+            },
+        )
+        return path
+
+    def __repr__(self):
+        return (
+            f"FlightRecorder({len(self.ring)}/{self.capacity} events, "
+            f"{self.events_seen} seen)"
+        )
+
+
+# ----------------------------------------------------------------------
+# the process-wide session (what --flight-recorder installs)
+# ----------------------------------------------------------------------
+_session = None
+
+
+def active_session():
+    return _session
+
+
+class FlightRecorderSession:
+    """Attach a flight recorder to every machine built while installed."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = int(capacity) if capacity else DEFAULT_CAPACITY
+        self.recorders = []
+
+    # -- hook management ------------------------------------------------
+    def install(self):
+        # Imported lazily: system.py imports this package's siblings, so
+        # a module-level import would be order-sensitive.
+        from repro.sim.system import add_machine_observer
+
+        global _session
+        if _session is not None and _session is not self:
+            raise RuntimeError("another FlightRecorderSession is already installed")
+        if _session is None:
+            add_machine_observer(self.observe)
+        _session = self
+        return self
+
+    def uninstall(self):
+        from repro.sim.system import remove_machine_observer
+
+        global _session
+        if _session is self:
+            remove_machine_observer(self.observe)
+            _session = None
+        return self
+
+    def __enter__(self):
+        return self.install()
+
+    def __exit__(self, *exc):
+        self.uninstall()
+        return False
+
+    # -- collection -----------------------------------------------------
+    def observe(self, machine, label=None):
+        recorder = FlightRecorder(
+            machine,
+            capacity=self.capacity,
+            label=label or f"machine-{len(self.recorders):02d}",
+        )
+        self.recorders.append(recorder)
+        return recorder
+
+    def detach(self):
+        for recorder in self.recorders:
+            recorder.detach()
+        return self
+
+    def reset(self):
+        self.detach()
+        self.recorders = []
+        return self
+
+    # -- artifacts ------------------------------------------------------
+    def postmortem(self, reason=None, error=None):
+        """One payload covering every recorded machine."""
+        return {
+            "schema": POSTMORTEM_SCHEMA,
+            "kind": "leviathan-postmortem",
+            "reason": (
+                reason
+                or (getattr(error, "kind", None) or type(error).__name__
+                    if error is not None else "requested")
+            ),
+            "error": (
+                {"type": type(error).__name__, "message": str(error)}
+                if error is not None
+                else None
+            ),
+            "machines": [
+                recorder.postmortem(reason=reason, error=error)
+                for recorder in self.recorders
+            ],
+        }
+
+    def save_postmortem(self, outdir, reason=None, error=None):
+        """Write a combined ``postmortem.json``; returns the path (or
+        None when no machine was recorded -- nothing to report)."""
+        if not self.recorders:
+            return None
+        os.makedirs(outdir, exist_ok=True)
+        path = os.path.join(outdir, "postmortem.json")
+        with open(path, "w") as handle:
+            json.dump(
+                self.postmortem(reason=reason, error=error),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        return path

@@ -214,6 +214,38 @@ def _label_suffix(label_key):
     return "{" + ",".join(f'{k}="{v}"' for k, v in label_key) + "}"
 
 
+def _escape_label_value(value):
+    """Escape one label value per the Prometheus exposition format:
+    backslash, double quote, and newline must be ``\\\\``, ``\\"``, and
+    ``\\n`` -- otherwise a value like ``link="a\"b"`` tears the line."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text):
+    """HELP text allows any UTF-8 but must escape backslash and newline."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_suffix(label_key):
+    """Like :func:`_label_suffix`, but exposition-format escaped.
+
+    JSON snapshot keys keep the raw values (they live inside JSON
+    strings, which have their own escaping); only the text exposition
+    needs this."""
+    if not label_key:
+        return ""
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in label_key)
+        + "}"
+    )
+
+
 def _prom_name(name):
     return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
 
@@ -328,17 +360,17 @@ class MetricsRegistry:
             prom = _prom_name(name)
             kind = family["kind"]
             if family["help"]:
-                lines.append(f"# HELP {prom} {family['help']}")
+                lines.append(f"# HELP {prom} {_escape_help(family['help'])}")
             if kind == "counter":
                 lines.append(f"# TYPE {prom}_total counter")
                 for key in sorted(family["series"]):
                     value = family["series"][key].value
-                    lines.append(f"{prom}_total{_label_suffix(key)} {value}")
+                    lines.append(f"{prom}_total{_prom_suffix(key)} {value}")
             elif kind == "gauge":
                 lines.append(f"# TYPE {prom} gauge")
                 for key in sorted(family["series"]):
                     value = family["series"][key].value
-                    lines.append(f"{prom}{_label_suffix(key)} {value}")
+                    lines.append(f"{prom}{_prom_suffix(key)} {value}")
             elif kind == "histogram":
                 lines.append(f"# TYPE {prom} histogram")
                 for key in sorted(family["series"]):
@@ -349,23 +381,23 @@ class MetricsRegistry:
                         le = hist.bucket_bound(b)
                         labels = dict(key) | {"le": le}
                         lines.append(
-                            f"{prom}_bucket{_label_suffix(_label_key(labels))} {cumulative}"
+                            f"{prom}_bucket{_prom_suffix(_label_key(labels))} {cumulative}"
                         )
                     labels = dict(key) | {"le": "+Inf"}
                     lines.append(
-                        f"{prom}_bucket{_label_suffix(_label_key(labels))} {hist.count}"
+                        f"{prom}_bucket{_prom_suffix(_label_key(labels))} {hist.count}"
                     )
-                    lines.append(f"{prom}_sum{_label_suffix(key)} {hist.sum}")
-                    lines.append(f"{prom}_count{_label_suffix(key)} {hist.count}")
+                    lines.append(f"{prom}_sum{_prom_suffix(key)} {hist.sum}")
+                    lines.append(f"{prom}_count{_prom_suffix(key)} {hist.count}")
             elif kind == "timeseries":
                 lines.append(f"# TYPE {prom} gauge")
                 for key in sorted(family["series"]):
                     samples = family["series"][key].samples()
                     value = samples[-1]["value"] if samples else 0
-                    lines.append(f"{prom}{_label_suffix(key)} {value}")
+                    lines.append(f"{prom}{_prom_suffix(key)} {value}")
         if meta:
             for k in sorted(meta):
-                lines.append(f'# META {k} {meta[k]}')
+                lines.append(f'# META {k} {_escape_help(meta[k])}')
         return "\n".join(lines) + "\n"
 
     def __repr__(self):

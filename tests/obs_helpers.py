@@ -1,0 +1,62 @@
+"""Importable spec targets and mini-workloads for observability tests.
+
+Pool workers resolve :class:`~repro.experiments.pool.RunSpec` functions
+by import path, so anything a pool test fans out must live in a real
+module (``"tests.obs_helpers:slow_point"``) rather than inside the test
+file. The invoke workload also serves the flight-recorder tests, which
+need a run that emits plenty of bus events.
+"""
+
+import time
+
+from repro.core.actor import Actor, action
+from repro.core.offload import Invoke, Location
+from repro.core.runtime import Leviathan
+from repro.sim.config import small_config
+from repro.sim.ops import Compute
+from repro.sim.system import Machine
+
+
+def slow_point(tag, seconds=0.3):
+    """Sleep long enough for a heartbeat/status poll to catch the run."""
+    time.sleep(seconds)
+    return {"tag": tag}
+
+
+def deadlocking_point(tag="deadlock"):
+    """Build a machine and livelock it: raises via the watchdog."""
+    machine = Machine(small_config(watchdog_steps=500))
+
+    def spin():
+        while True:
+            yield Compute(0)
+
+    machine.spawn(spin(), tile=0, name=f"{tag}-spinner")
+    machine.run()
+
+
+class Ping(Actor):
+    SIZE = 8
+
+    @action
+    def ping(self, env, amount):
+        yield Compute(1)
+
+
+def invoke_burst(machine=None):
+    """A small invoke storm over four tiles; returns the machine."""
+    machine = machine if machine is not None else Machine(small_config())
+    runtime = Leviathan(machine)
+    alloc = runtime.allocator_for(Ping, capacity=8)
+    actors = [alloc.allocate() for _ in range(4)]
+
+    def invoker(tile):
+        for i in range(6):
+            actor = actors[(tile + i) % 4]
+            yield Invoke(actor, "ping", (i,), location=Location.REMOTE)
+            yield Compute(2)
+
+    for tile in range(4):
+        machine.spawn(invoker(tile), tile=tile)
+    machine.run()
+    return machine

@@ -1,0 +1,175 @@
+"""The flight recorder: bounded rings, postmortems, pool integration."""
+
+import json
+
+import pytest
+
+from repro.core.offload import InvokeTimeout
+from repro.experiments.pool import ExperimentPool, RunSpec
+from repro.sim.config import small_config
+from repro.sim.faults import ContextExhaustion, FaultPlan
+from repro.sim.ops import Compute, Condition, Wait
+from repro.sim.scheduler import DeadlockError
+from repro.sim.system import Machine
+from repro.sim.telemetry.flightrec import (
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    FlightRecorderSession,
+    event_vocabulary,
+)
+from tests.obs_helpers import invoke_burst
+
+
+def spinning(machine, name="spinner"):
+    def prog():
+        while True:
+            yield Compute(0)
+
+    machine.spawn(prog(), tile=0, name=name)
+
+
+class TestRing:
+    def test_vocabulary_covers_the_event_module(self):
+        names = {t.__name__ for t in event_vocabulary()}
+        assert {"WatchdogFired", "InvokeDispatched", "FaultInjected"} <= names
+
+    def test_ring_is_bounded(self):
+        machine = Machine(small_config())
+        recorder = FlightRecorder(machine, capacity=16)
+        invoke_burst(machine)
+        assert recorder.events_seen > 16
+        assert len(recorder.ring) == 16
+        events = recorder.recent_events()
+        assert len(events) == 16
+        assert all(isinstance(e["type"], str) for e in events)
+
+    def test_detach_deactivates_the_bus(self):
+        machine = Machine(small_config())
+        recorder = FlightRecorder(machine, capacity=8)
+        assert machine.events.active
+        recorder.detach()
+        assert not machine.events.active
+        recorder.detach()  # idempotent
+
+    def test_attached_recorder_does_not_change_the_run(self):
+        clean = invoke_burst()
+        recorded = Machine(small_config())
+        FlightRecorder(recorded, capacity=64)
+        invoke_burst(recorded)
+        assert dict(recorded.stats.counters) == dict(clean.stats.counters)
+
+
+class TestPostmortem:
+    def test_watchdog_deadlock_postmortem(self, tmp_path):
+        machine = Machine(small_config(watchdog_steps=500))
+        recorder = FlightRecorder(machine, capacity=32, label="m0")
+        spinning(machine)
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        path = recorder.save_postmortem(str(tmp_path), error=excinfo.value)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == POSTMORTEM_SCHEMA
+        assert payload["kind"] == "leviathan-postmortem"
+        assert payload["reason"] == "watchdog"
+        assert payload["label"] == "m0"
+        assert payload["error"]["type"] == "DeadlockError"
+        assert any(e["type"] == "WatchdogFired" for e in payload["events"])
+        stall = payload["stall"]
+        assert stall["steps_without_progress"] == 500
+        assert stall["running"]["name"] == "spinner"
+        assert payload["stats"]["watchdog.fired"] == 1
+
+    def test_drained_deadlock_postmortem(self):
+        machine = Machine(small_config())
+        recorder = FlightRecorder(machine)
+        lonely = Condition("never-signaled")
+
+        def waiter():
+            yield Wait(lonely)
+
+        machine.spawn(waiter(), tile=1, name="orphan-waiter")
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        assert excinfo.value.kind == "drained"
+        payload = recorder.postmortem(error=excinfo.value)
+        assert payload["reason"] == "drained"
+        assert payload["stall"]["parked_total"] == 1
+        assert payload["stall"]["parked"][0]["name"] == "orphan-waiter"
+        assert any(e["type"] == "WatchdogFired" for e in payload["events"])
+        json.dumps(payload)  # the whole report must be serializable
+
+    def test_unsurvivable_fault_plan_postmortem(self, tmp_path):
+        plan = FaultPlan([ContextExhaustion(t, 0.0, 1e9) for t in range(4)])
+        session = FlightRecorderSession(capacity=64)
+        with session:
+            machine = Machine(
+                small_config(
+                    **{"core.invoke_max_retries": 3, "core.invoke_retry_delay": 5}
+                )
+            )
+            plan.attach(machine)
+            with pytest.raises(InvokeTimeout) as excinfo:
+                invoke_burst(machine)
+            path = session.save_postmortem(str(tmp_path), error=excinfo.value)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["reason"] == "InvokeTimeout"
+        assert payload["error"]["type"] == "InvokeTimeout"
+        assert len(payload["machines"]) == 1
+        report = payload["machines"][0]["fault_report"]
+        assert report is not None
+        assert sum(report["injected"].values()) > 0
+        # The ring holds the *last* 64 events (retry traffic near the
+        # timeout); earlier FaultInjected events were evicted by design.
+        assert payload["machines"][0]["events"]
+        assert payload["machines"][0]["events_seen"] > 64
+
+    def test_session_requires_exclusivity(self):
+        with FlightRecorderSession():
+            with pytest.raises(RuntimeError):
+                FlightRecorderSession().install()
+
+
+class TestPoolIntegration:
+    def test_failing_spec_writes_postmortem(self, tmp_path):
+        pool = ExperimentPool(jobs=1, cache_dir=str(tmp_path), flightrec=64)
+        spec = RunSpec("tests.obs_helpers:deadlocking_point", {"tag": "pm"}, "pm/dead")
+        outcome = pool.run([spec])[0]
+        assert outcome["status"] == "error"
+        path = outcome["postmortem"]
+        assert path.startswith(str(tmp_path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "leviathan-postmortem"
+        assert payload["error"]["type"] == "DeadlockError"
+        assert payload["machines"][0]["events"]
+
+    def test_flightrec_does_not_block_cache_reads(self, tmp_path):
+        spec = RunSpec(
+            "repro.experiments.ablations:compaction_point",
+            {"compaction": True},
+            "cache/on",
+        )
+        first = ExperimentPool(jobs=1, cache_dir=str(tmp_path), flightrec=64)
+        first.run([spec])
+        assert first.consume_report().get("executed") == 1
+        second = ExperimentPool(jobs=1, cache_dir=str(tmp_path), flightrec=64)
+        second.run([spec])
+        report = second.consume_report()
+        assert report.get("cached") == 1
+        assert not report.get("executed")
+
+    def test_ok_run_leaves_no_postmortem(self, tmp_path):
+        import os
+
+        pool = ExperimentPool(jobs=1, cache_dir=str(tmp_path), flightrec=64)
+        spec = RunSpec(
+            "repro.experiments.ablations:compaction_point",
+            {"compaction": False},
+            "ok/off",
+        )
+        outcome = pool.run([spec])[0]
+        assert outcome["status"] == "ok"
+        assert "postmortem" not in outcome
+        assert not os.path.isdir(os.path.join(str(tmp_path), "postmortems"))

@@ -1,0 +1,115 @@
+"""Structured JSONL run logs and their CLI/pool wiring."""
+
+import json
+import logging
+
+import repro.experiments.cli as cli
+from repro.experiments.pool import ExperimentPool, RunSpec
+from repro.sim.telemetry.log import (
+    ROOT_LOGGER,
+    clear_log_context,
+    configure_run_logging,
+    ensure_run_logging,
+    get_logger,
+    new_run_id,
+    set_log_context,
+)
+
+
+def _read_jsonl(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestJsonlLogging:
+    def teardown_method(self):
+        clear_log_context()
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with configure_run_logging(path, run_id="rid-1"):
+            get_logger("pool").info(
+                "run.start", extra={"hash": "abc", "label": "fig18/x"}
+            )
+            get_logger("scheduler").error("scheduler.deadlock", extra={"kind": "d"})
+        records = _read_jsonl(path)
+        assert len(records) == 2
+        first = records[0]
+        assert first["event"] == "run.start"
+        assert first["logger"] == "leviathan.pool"
+        assert first["run_id"] == "rid-1"
+        assert first["hash"] == "abc"
+        assert first["level"] == "INFO"
+        assert isinstance(first["pid"], int)
+        assert records[1]["kind"] == "d"
+
+    def test_unconfigured_logging_is_silent(self, capsys):
+        get_logger("pool").info("run.start", extra={"hash": "zzz"})
+        captured = capsys.readouterr()
+        assert "run.start" not in captured.err
+        assert "run.start" not in captured.out
+
+    def test_context_fields_merge_and_clear(self, tmp_path):
+        path = str(tmp_path / "ctx.jsonl")
+        with configure_run_logging(path):
+            set_log_context(run_id="rid-2", cid="c1")
+            get_logger("x").info("one")
+            set_log_context(cid=None)
+            get_logger("x").info("two")
+        one, two = _read_jsonl(path)
+        assert one["cid"] == "c1"
+        assert "cid" not in two
+
+    def test_ensure_run_logging_is_idempotent_per_path(self, tmp_path):
+        path = str(tmp_path / "same.jsonl")
+        handle = ensure_run_logging(path)
+        try:
+            assert ensure_run_logging(path) is None
+            get_logger("y").info("once")
+        finally:
+            handle.close()
+        assert len(_read_jsonl(path)) == 1
+
+    def test_new_run_ids_are_distinct_enough(self):
+        assert new_run_id()  # nonempty, hex-ish
+        assert "-" in new_run_id()
+
+
+class TestPoolLogging:
+    def teardown_method(self):
+        clear_log_context()
+        # Detach any handler the pool attached so later tests stay silent.
+        logger = logging.getLogger(ROOT_LOGGER)
+        for handler in list(logger.handlers):
+            if isinstance(handler, logging.FileHandler):
+                logger.removeHandler(handler)
+                handler.close()
+
+    def test_pool_journals_run_lifecycle(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        pool = ExperimentPool(jobs=1, cache_dir=str(tmp_path / "cache"), log_path=path)
+        pool.run(
+            [
+                RunSpec(
+                    "repro.experiments.ablations:compaction_point",
+                    {"compaction": True},
+                    "log/on",
+                ),
+                RunSpec("tests.obs_helpers:deadlocking_point", {}, "log/dead"),
+            ]
+        )
+        events = [(r["event"], r.get("label")) for r in _read_jsonl(path)]
+        assert ("run.start", "log/on") in events
+        assert ("run.end", "log/on") in events
+        assert ("run.error", "log/dead") in events
+        run_ids = {r["run_id"] for r in _read_jsonl(path) if "run_id" in r}
+        assert run_ids == {pool.run_id}
+
+
+class TestStatusCli:
+    def test_status_exit_codes(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert cli.main(["status", missing]) == 1
+        assert cli.main(["status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "running (0)" in out

@@ -140,3 +140,42 @@ class TestExports:
         assert reg.value("nacks", labels={"tile": 1}) == 3
         assert reg.value("nacks", labels={"tile": 9}) is None
         assert reg.value("missing") is None
+
+
+class TestPrometheusEscaping:
+    """Exposition-format escaping (satellite of the observability PR):
+    label values containing backslashes, quotes, or newlines must not
+    tear the rendered line; JSON snapshot keys stay raw."""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        raw = 'a\\b"c\nd'
+        reg.counter("weird.metric", labels={"path": raw}).inc(3)
+        text = reg.render_prometheus()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # No rendered line may contain a raw newline mid-record: every
+        # line is a comment or a sample.
+        for line in text.splitlines():
+            if line:
+                assert line.startswith("#") or line.startswith("repro_")
+
+    def test_snapshot_keys_stay_raw(self):
+        reg = MetricsRegistry()
+        raw = 'x"y'
+        reg.counter("weird.metric", labels={"path": raw}).inc()
+        keys = list(reg.snapshot()["counters"])
+        assert keys == [f'weird.metric{{path="{raw}"}}']
+
+    def test_help_and_meta_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("h.m", help="line1\nline2\\tail").inc()
+        text = reg.render_prometheus(meta={"note": "a\nb"})
+        assert "# HELP repro_h_m line1\\nline2\\\\tail" in text
+        assert "# META note a\\nb" in text
+
+    def test_histogram_le_labels_escaped_alongside_user_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", labels={"who": 'q"q'}).observe(3)
+        text = reg.render_prometheus()
+        assert 'repro_lat_bucket{le="4.0",who="q\\"q"} 1' in text
+        assert 'repro_lat_count{who="q\\"q"} 1' in text

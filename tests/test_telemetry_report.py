@@ -173,3 +173,105 @@ class TestTelemetryReportCli:
         assert cli.main(["telemetry", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "ui.perfetto.dev" in out
+
+
+class TestPartiallyWrittenRuns:
+    """A worker killed mid-sweep leaves torn artifacts; the report and
+    the dashboard must degrade, never raise."""
+
+    def test_summarize_run_with_missing_metrics(self, tmp_path):
+        run_dir = tmp_path / "runs" / "half" / "machine-00"
+        run_dir.mkdir(parents=True)
+        (run_dir / "trace.json").write_text(
+            json.dumps({"traceEvents": span_events()})
+        )
+        summary = summarize_run(str(run_dir))
+        assert summary["trace_spans"] == 1
+        assert summary["cycles"] is None
+        assert any("missing metrics.json" in p for p in summary["trace_problems"])
+        render(summary)  # must render too
+
+    def test_summarize_run_with_torn_trace(self, tmp_path):
+        run_dir = tmp_path / "runs" / "torn" / "machine-00"
+        run_dir.mkdir(parents=True)
+        (run_dir / "trace.json").write_text('{"traceEvents": [{"ph": "b"')
+        (run_dir / "metrics.json").write_text(
+            json.dumps({"meta": {"cycles": 10.0}, "counters": {}})
+        )
+        summary = summarize_run(str(run_dir))
+        assert summary["trace_events"] == 0
+        assert summary["cycles"] == 10.0
+        assert any("trace.json" in p for p in summary["trace_problems"])
+        text, ok = report(str(tmp_path))
+        assert not ok
+        assert "INVALID" in text
+
+    def test_summarize_run_with_malformed_metrics(self, tmp_path):
+        run_dir = tmp_path / "runs" / "listy" / "machine-00"
+        run_dir.mkdir(parents=True)
+        (run_dir / "trace.json").write_text(json.dumps({"traceEvents": []}))
+        (run_dir / "metrics.json").write_text("[1, 2, 3]")
+        summary = summarize_run(str(run_dir))
+        assert any("malformed metrics.json" in p for p in summary["trace_problems"])
+
+
+class TestDashboardAggregation:
+    def _run(self, tmp_path, name, buckets, count, counters):
+        write_run(
+            tmp_path,
+            name=name,
+            counters=counters,
+        )
+        run_dir = tmp_path / "runs" / name / "machine-00"
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        metrics["histograms"]["invoke.latency"] = {
+            "count": count,
+            "sum": float(sum(float(b) * n for b, n in buckets.items())),
+            "min": 1.0,
+            "max": max((float(b) for b in buckets), default=None),
+            "buckets": buckets,
+        }
+        (run_dir / "metrics.json").write_text(json.dumps(metrics))
+        return run_dir
+
+    def test_histograms_merge_across_runs(self, tmp_path):
+        from repro.experiments.telemetry_report import aggregate_sweep
+
+        self._run(
+            tmp_path, "a", {"2.0": 9}, 9,
+            {"dram.accesses": 5, 'engine.arrivals{outcome="nacked"}': 2},
+        )
+        self._run(
+            tmp_path, "b", {"1024.0": 1}, 1,
+            {"dram.accesses": 7, "noc.flits": 3},
+        )
+        agg = aggregate_sweep(str(tmp_path))
+        assert agg["runs"] == 2
+        hist = agg["histograms"]["invoke.latency"]
+        assert hist["count"] == 10
+        # Merged tail: p50 falls in the 2.0 bucket, p99 in the slow
+        # run's 1024.0 bucket -- a per-run average would hide it.
+        assert hist["p50"] == 2.0
+        assert hist["p99"] == 1024.0
+        assert agg["counters"]["dram.accesses"] == 12
+        assert agg["subsystems"]["dram"] == 12
+        assert agg["subsystems"]["noc"] == 3
+        assert agg["nacks"] == 2
+        assert agg["cycles"]["total"] == 2468.0
+
+    def test_write_dashboard_artifacts(self, tmp_path):
+        from repro.experiments.telemetry_report import write_dashboard
+
+        self._run(tmp_path, "a", {"2.0": 4}, 4, {"dram.accesses": 1})
+        agg = write_dashboard(str(tmp_path))
+        assert agg["runs"] == 1
+        payload = json.loads((tmp_path / "dashboard.json").read_text())
+        assert payload["kind"] == "leviathan-dashboard"
+        markdown = (tmp_path / "dashboard.md").read_text()
+        assert "invoke.latency" in markdown
+
+    def test_write_dashboard_empty_root(self, tmp_path):
+        from repro.experiments.telemetry_report import write_dashboard
+
+        assert write_dashboard(str(tmp_path)) is None
+        assert not (tmp_path / "dashboard.json").exists()

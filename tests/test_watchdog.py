@@ -141,3 +141,55 @@ class TestNeverSignaledCondition:
         machine.run()
         assert rounds == [True]
         assert machine.stats["watchdog.fired"] == 0
+
+
+class TestDeadlockDiagnostics:
+    """Every DeadlockError raise path emits WatchdogFired and carries a
+    structured stall snapshot (what the flight recorder drains)."""
+
+    @pytest.mark.parametrize("mode", ["runlist", "heap"])
+    def test_drained_raise_emits_watchdog_fired(self, mode):
+        machine = Machine(small_config(scheduler_mode=mode))
+        fired = []
+        machine.events.subscribe(WatchdogFired, fired.append)
+        lonely = Condition("never-signaled")
+
+        def waiter():
+            yield Wait(lonely)
+
+        machine.spawn(waiter(), tile=1, name="orphan-waiter")
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        assert len(fired) == 1
+        assert fired[0].parked == 1
+        assert excinfo.value.kind == "drained"
+        assert machine.stats["deadlock.drained"] == 1
+        snapshot = excinfo.value.snapshot
+        assert snapshot["parked_total"] == 1
+        assert snapshot["parked"][0]["name"] == "orphan-waiter"
+        assert snapshot["parked"][0]["tile"] == 1
+        assert "never-signaled" in snapshot["parked"][0]["condition"]
+
+    def test_watchdog_error_carries_snapshot(self):
+        machine = Machine(small_config(watchdog_steps=500))
+        spinning(machine)
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        assert excinfo.value.kind == "watchdog"
+        snapshot = excinfo.value.snapshot
+        assert snapshot["steps_without_progress"] == 500
+        assert snapshot["running"]["name"] == "spinner"
+
+    def test_detached_bus_still_raises_without_events(self):
+        # No subscriber: the drained raise must not wake the bus.
+        machine = Machine(small_config())
+        lonely = Condition("quiet")
+
+        def waiter():
+            yield Wait(lonely)
+
+        machine.spawn(waiter(), tile=0, name="quiet-waiter")
+        with pytest.raises(DeadlockError):
+            machine.run()
+        assert not machine.events.active
+        assert machine.stats["deadlock.drained"] == 1
