@@ -9,7 +9,13 @@ processes (default: one per CPU), results are content-hash cached
 under ``--cache-dir`` (default ``results-cache/``, or
 ``$LEVIATHAN_CACHE_DIR``), ``--resume`` replays a sweep's completed
 manifest entries after an interruption, and ``--no-cache`` forces
-re-execution. See ``docs/experiments.md``.
+re-execution. The pool is *supervised*: ``--run-timeout`` puts a
+wall-clock deadline on every run, transient failures (killed, hung,
+or timed-out workers) are retried with backoff up to ``--run-retries``
+attempts, corrupt cache entries are quarantined and re-executed, and
+Ctrl-C drains gracefully (manifest intact; ``--resume`` continues).
+``--backend`` selects the executor backend. See
+``docs/experiments.md``.
 
 ``--telemetry-out DIR`` additionally captures telemetry (Perfetto
 trace + metrics snapshot) for every machine each run builds, under
@@ -51,7 +57,8 @@ import traceback
 
 from repro.experiments import registry
 from repro.experiments import ablations, figures, sensitivity, tables
-from repro.experiments.pool import ExperimentPool
+from repro.experiments.pool import ExperimentPool, SweepInterrupted
+from repro.experiments.retry import RetryPolicy
 
 _EXPERIMENTS = {
     "table1": (tables.run_table1, "Table I: NDC taxonomy"),
@@ -140,6 +147,29 @@ def main(argv=None):
         action="store_true",
         help="skip runs already recorded ok in the cache manifest "
         "(continue an interrupted sweep)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="executor backend: 'auto' (default: inline for one worker, "
+        "per-job processes otherwise), 'local-inline', or 'local-process'",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per run; an over-deadline worker is "
+        "killed and the run retried as a transient failure",
+    )
+    parser.add_argument(
+        "--run-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per run for transient failures (worker "
+        "killed, timeout, hang); 1 disables retry (default: 3)",
     )
     parser.add_argument(
         "--telemetry-out",
@@ -257,6 +287,11 @@ def main(argv=None):
 
         FaultPlan.parse(args.faults)
 
+    retry = (
+        RetryPolicy(max_attempts=args.run_retries)
+        if args.run_retries is not None
+        else None
+    )
     pool = ExperimentPool(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -267,6 +302,9 @@ def main(argv=None):
         faults=args.faults,
         flightrec=args.flight_recorder,
         log_path=args.log,
+        backend=args.backend,
+        retry=retry,
+        run_timeout=args.run_timeout,
     )
 
     names = registry.names() if args.experiment == "all" else [args.experiment]
@@ -283,6 +321,11 @@ def main(argv=None):
             # Unknown experiment name: a usage error, not a workload
             # crash -- propagate as before.
             raise
+        except SweepInterrupted as exc:
+            # Graceful drain already happened (manifest flushed and
+            # fsynced); exit nonzero with the resume hint.
+            print(f"\ninterrupted: {exc}", file=sys.stderr)
+            return 130
         except Exception as exc:  # workload crashed (chaos runs do this)
             error = exc
             error_text = traceback.format_exc()
@@ -309,10 +352,17 @@ def main(argv=None):
                 f"{os.path.join(args.telemetry_out or args.profile, 'runs')}"
             )
         if executed or cached:
-            print(
+            line = (
                 f"pool: {executed} executed, {cached} cached "
                 f"({pool.jobs} job(s))"
             )
+            retried = report.get("retried", 0)
+            quarantined = report.get("quarantined", 0)
+            if retried:
+                line += f", {retried} retried"
+            if quarantined:
+                line += f", {quarantined} cache entr(ies) quarantined"
+            print(line)
 
         if error is not None:
             crashed.append(name)

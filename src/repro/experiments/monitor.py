@@ -58,6 +58,62 @@ def heartbeat_dir(root):
     return os.path.join(root, HEARTBEAT_DIRNAME)
 
 
+def heartbeat_path(root, run_hash):
+    """The heartbeat file of one run under sweep directory ``root``."""
+    return os.path.join(heartbeat_dir(root), f"{run_hash[:12]}.json")
+
+
+def read_heartbeat(root, run_hash):
+    """One run's parsed heartbeat, or None (missing/torn/foreign)."""
+    try:
+        with open(heartbeat_path(root, run_hash)) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if isinstance(payload, dict) and payload.get("kind") == "leviathan-heartbeat":
+        return payload
+    return None
+
+
+def sweep_heartbeats(root, finished_hashes=()):
+    """Heartbeat hygiene: drop files of finished runs; returns count.
+
+    Removes every heartbeat whose phase is terminal (``done``/
+    ``error``) or whose hash appears in ``finished_hashes`` (manifest
+    ground truth). The pool calls this at start and on clean finish so
+    ``leviathan-repro status`` never reports ghosts from a prior
+    sweep. Live beats of other hashes are left alone -- a concurrent
+    sweep sharing the cache dir keeps its in-flight runs visible.
+    """
+    short = {h[:12] for h in finished_hashes if h}
+    removed = 0
+    for beat in read_heartbeats(root):
+        digest = beat.get("hash") or ""
+        if beat.get("phase") in TERMINAL_PHASES or digest[:12] in short:
+            try:
+                os.unlink(heartbeat_path(root, digest))
+                removed += 1
+            except OSError:
+                pass
+    if removed:
+        _log.info("heartbeats.swept", extra={"root": root, "removed": removed})
+    return removed
+
+
+#: Stack of this process's live writers; the top is the current run's.
+_active_writers = []
+
+
+def current_heartbeat():
+    """The executing run's :class:`HeartbeatWriter`, or None.
+
+    Test hook (also used by chaos workloads): lets a running spec
+    reach its own writer, e.g. to :meth:`~HeartbeatWriter.suspend`
+    beats and simulate a hung worker.
+    """
+    return _active_writers[-1] if _active_writers else None
+
+
 # ----------------------------------------------------------------------
 # worker side: the heartbeat writer
 # ----------------------------------------------------------------------
@@ -80,6 +136,7 @@ class HeartbeatWriter:
         self.phase = "setup"
         self.started = time.time()
         self._machines = []
+        self._suspended = False
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, name=f"heartbeat-{run_hash[:12]}", daemon=True
@@ -89,6 +146,7 @@ class HeartbeatWriter:
     def start(self):
         os.makedirs(self.directory, exist_ok=True)
         add_machine_observer(self._on_machine)
+        _active_writers.append(self)
         self.beat()
         self._thread.start()
         return self
@@ -96,10 +154,23 @@ class HeartbeatWriter:
     def stop(self, phase="done"):
         """Final beat with a terminal phase; the thread exits."""
         remove_machine_observer(self._on_machine)
+        if self in _active_writers:
+            _active_writers.remove(self)
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join(timeout=2 * self.interval)
+        self._suspended = False
         self.beat(phase=phase)
+        return self
+
+    def suspend(self):
+        """Stop beating without stopping the run (hang simulation).
+
+        Periodic beats are skipped until :meth:`stop`; to the pool's
+        hang detector this run now looks exactly like a worker that
+        livelocked or was SIGSTOPped mid-simulation.
+        """
+        self._suspended = True
         return self
 
     def __enter__(self):
@@ -134,6 +205,8 @@ class HeartbeatWriter:
         }
 
     def beat(self, phase=None):
+        if self._suspended and phase is None:
+            return None
         if phase is not None:
             self.phase = phase
         now = time.time()
@@ -212,7 +285,9 @@ def summarize_sweep(root, now=None):
     manifest = read_manifest(root)
     finished_hashes = {entry.get("hash") for entry in manifest}
     counts = {"ok": 0, "error": 0, "cached": 0}
+    retries = 0
     for entry in manifest:
+        retries += max(0, int(entry.get("attempts", 1) or 1) - 1)
         if entry.get("cached"):
             counts["cached"] += 1
         elif entry.get("status") == "ok":
@@ -233,6 +308,7 @@ def summarize_sweep(root, now=None):
         "exists": os.path.isdir(root),
         "manifest_entries": len(manifest),
         "counts": counts,
+        "retries": retries,
         "running": running,
         "stale": stale,
         "finished_heartbeats": len(finished_beats),
@@ -269,11 +345,13 @@ def render_status(root, now=None):
     if not summary["exists"]:
         return f"no sweep directory at {root}", False
     counts = summary["counts"]
-    lines = [
-        f"sweep: {root}",
+    manifest_line = (
         f"  manifest: {summary['manifest_entries']} entr(ies) -- "
-        f"{counts['ok']} ok, {counts['cached']} cached, {counts['error']} failed",
-    ]
+        f"{counts['ok']} ok, {counts['cached']} cached, {counts['error']} failed"
+    )
+    if summary["retries"]:
+        manifest_line += f", {summary['retries']} retried"
+    lines = [f"sweep: {root}", manifest_line]
     if summary["running"]:
         lines.append(f"  running ({len(summary['running'])}):")
         for beat in summary["running"]:

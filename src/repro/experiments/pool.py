@@ -23,22 +23,52 @@ execution each -- and executes them on a worker pool:
   :meth:`ExperimentPool.run_results` raises
   :class:`IncompleteSweepError` at the end so the CLI exits nonzero.
 
+Execution happens on a pluggable :class:`~repro.experiments.backends.
+ExecutorBackend` under a **supervision loop** that makes the host side
+as fault-tolerant as PR 3 made the simulated machine:
+
+- failures are classified (:mod:`repro.experiments.retry`) as
+  *transient* (worker killed, deadline exceeded, hung, dispatch
+  ``OSError``) vs *permanent* (the workload raised); transient ones
+  are requeued with seeded exponential backoff up to
+  ``RetryPolicy.max_attempts``, and the attempt count is journaled;
+- every run gets a wall-clock deadline (``RunSpec.deadline_s``, the
+  pool's ``run_timeout`` default, CLI ``--run-timeout``) enforced by
+  killing the worker -- a timeout is transient;
+- a run whose live-phase heartbeat goes stale beyond
+  ``hang_intervals`` beats is declared hung: the worker is killed, a
+  postmortem stub is written, and the run is requeued;
+- cache entries carry a sha256 checksum of their result payload;
+  corrupt or truncated entries are quarantined to
+  ``<cache-dir>/quarantine/`` and re-executed, never returned;
+- SIGINT/SIGTERM drain gracefully: dispatching stops, queued work is
+  cancelled, in-flight workers are killed, the (fsynced) manifest
+  stays intact, and :class:`SweepInterrupted` tells the operator that
+  ``--resume`` continues the sweep.
+
 Determinism is load-bearing: specs are pure functions of their kwargs,
 results are assembled in *spec order* (never completion order), and the
 float payloads survive the JSON cache bit-exactly (``repr`` round-trip),
-so a ``jobs=8`` sweep produces bit-identical figure data to ``jobs=1``.
-``tests/test_pool.py`` enforces this.
+so a ``jobs=8`` sweep produces bit-identical figure data to ``jobs=1``
+-- with or without injected worker kills, timeouts, and requeues.
+``tests/test_pool.py`` and ``tests/test_supervision.py`` enforce this.
 """
 
+import collections
 import hashlib
 import importlib
 import json
 import os
 import re
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.experiments import retry as retry_taxonomy
+from repro.experiments.backends import WorkerDeath, make_backend
+from repro.experiments.retry import RetryPolicy
 from repro.sim.telemetry.log import ensure_run_logging, get_logger, new_run_id
 from repro.workloads.common import RunResult, StudyResult
 
@@ -62,11 +92,15 @@ class RunSpec:
     human-readable sweep-local name used in the manifest and artifact
     directories; it is *excluded* from the content hash so overlapping
     sweeps that enumerate the same computation share a cache entry.
+    ``deadline_s`` is a per-run wall-clock deadline (None inherits the
+    pool's ``run_timeout``); like ``label`` it is host-side policy and
+    excluded from the content hash.
     """
 
     fn: str
     kwargs: dict = field(default_factory=dict)
     label: str = ""
+    deadline_s: float = None
 
 
 def _canonical(value):
@@ -150,6 +184,35 @@ def decode_result(payload):
             for level, outcome, count in payload["access_profile"]
         },
     )
+
+
+def compute_result_checksum(result_payload):
+    """sha256 over the canonical encoding of one cached result payload.
+
+    Stored per cache entry and re-verified on every read, so bit rot,
+    truncation, or a torn write is *detected* instead of silently
+    decoded into garbage figure data.
+    """
+    return "sha256:" + hashlib.sha256(
+        canonical_json(result_payload).encode()
+    ).hexdigest()
+
+
+def cache_entry_problem(payload):
+    """Why a parsed cache entry cannot be trusted, or None if it can.
+
+    Entries written before checksums existed (no ``checksum`` field)
+    are accepted unverified for backward compatibility.
+    """
+    if "result" not in payload:
+        return "entry has no result payload"
+    stored = payload.get("checksum")
+    if stored is None:
+        return None
+    actual = compute_result_checksum(payload["result"])
+    if stored != actual:
+        return f"checksum mismatch: stored {stored}, payload hashes to {actual}"
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +364,25 @@ class IncompleteSweepError(RuntimeError):
         )
 
 
+class SweepInterrupted(RuntimeError):
+    """The operator stopped the sweep (SIGINT/SIGTERM graceful drain).
+
+    The manifest is flushed and fsynced before this is raised, so
+    every *finished* run is journaled; ``--resume`` re-executes only
+    what was still in flight or queued.
+    """
+
+    def __init__(self, signame, done, total):
+        self.signame = signame
+        self.done = done
+        self.total = total
+        super().__init__(
+            f"sweep interrupted by {signame}: {done}/{total} pending run(s) "
+            f"finished; the manifest is intact -- rerun with --resume to "
+            f"continue where it left off"
+        )
+
+
 class ExperimentPool:
     """Executes :class:`RunSpec` lists with caching, resume, and fan-out.
 
@@ -355,6 +437,25 @@ class ExperimentPool:
     progress:
         Render a live progress line on stderr while the sweep executes.
         ``None`` auto-enables it for multi-worker sweeps on a TTY.
+    backend:
+        Executor backend: an :class:`~repro.experiments.backends.
+        ExecutorBackend` instance, a registered name
+        (``"local-inline"``, ``"local-process"``), or None/"auto" --
+        inline for one worker, per-job processes otherwise.
+    retry:
+        The :class:`~repro.experiments.retry.RetryPolicy` for
+        transient failures (worker killed, timeout, hang). ``None``
+        uses the default policy; ``RetryPolicy(max_attempts=1)``
+        disables retry.
+    run_timeout:
+        Default per-run wall-clock deadline in seconds (a spec's own
+        ``deadline_s`` wins). None disables deadlines. Enforced only
+        on killable backends -- an inline run cannot be preempted.
+    hang_intervals:
+        A run whose live-phase heartbeat is older than this many of
+        its own beat intervals is declared hung: the worker is killed
+        and the run requeued. None disables hang detection (it is
+        also off whenever heartbeats are off).
     """
 
     def __init__(
@@ -370,6 +471,10 @@ class ExperimentPool:
         log_path=None,
         heartbeat_interval=None,
         progress=None,
+        backend=None,
+        retry=None,
+        run_timeout=None,
+        hang_intervals=10.0,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache_dir = cache_dir
@@ -381,14 +486,37 @@ class ExperimentPool:
         self.log_path = log_path
         self.heartbeat_interval = heartbeat_interval
         self.progress_mode = progress
+        self.backend = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(f"retry must be a RetryPolicy, got {self.retry!r}")
+        if run_timeout is not None and not float(run_timeout) > 0:
+            raise ValueError(f"run_timeout must be > 0 seconds, got {run_timeout!r}")
+        self.run_timeout = float(run_timeout) if run_timeout is not None else None
+        if hang_intervals is not None and not float(hang_intervals) > 0:
+            raise ValueError(
+                f"hang_intervals must be > 0 intervals, got {hang_intervals!r}"
+            )
+        self.hang_intervals = (
+            float(hang_intervals) if hang_intervals is not None else None
+        )
         self.run_id = new_run_id()
         #: Outcomes of every failed spec across the pool's lifetime.
         self.failures = []
+        #: Host-side supervision counters across the pool's lifetime.
+        self.supervision = {
+            "retries": 0,
+            "worker_deaths": 0,
+            "timeouts": 0,
+            "hangs": 0,
+            "quarantined": 0,
+        }
         self._memory = {}
         self._report = {}
         self._pending_done = 0
         self._pending_total = 0
         self._log_handle = None
+        self._interrupt = None
         self._resumed = self._load_manifest() if (resume and cache_dir) else set()
         if log_path:
             self._log_handle = ensure_run_logging(log_path, run_id=self.run_id)
@@ -428,15 +556,19 @@ class ExperimentPool:
             "status": outcome["status"],
             "elapsed": outcome.get("elapsed", 0.0),
             "cached": cached,
+            "attempts": outcome.get("attempts", 1),
         }
         if outcome["status"] != "ok":
             entry["error"] = {
                 "type": outcome["error"]["type"],
                 "message": outcome["error"]["message"],
             }
+        # flush + fsync before returning: a host crash can then tear at
+        # most the final line, which the self-healing path tolerates.
         with open(self._manifest_path(), "a") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
 
     def _heal_torn_manifest(self):
         """Terminate a torn final line (kill mid-append) before appending.
@@ -469,14 +601,44 @@ class ExperimentPool:
         try:
             with open(self._cache_path(digest)) as handle:
                 payload = json.load(handle)
-        except (FileNotFoundError, ValueError):
+        except FileNotFoundError:
             return None
-        return payload if payload.get("status") == "ok" else None
+        except ValueError:
+            self._quarantine(digest, "unparseable JSON (truncated or torn write)")
+            return None
+        if not isinstance(payload, dict) or payload.get("status") != "ok":
+            return None
+        problem = cache_entry_problem(payload)
+        if problem is not None:
+            self._quarantine(digest, problem)
+            return None
+        return payload
+
+    def _quarantine(self, digest, reason):
+        """Move a corrupt cache entry aside; the run will re-execute.
+
+        Quarantined entries land in ``<cache-dir>/quarantine/`` under
+        their original name for operator inspection -- never served,
+        never silently deleted.
+        """
+        source = self._cache_path(digest)
+        quarantine_dir = os.path.join(self.cache_dir, "quarantine")
+        os.makedirs(quarantine_dir, exist_ok=True)
+        try:
+            os.replace(
+                source, os.path.join(quarantine_dir, os.path.basename(source))
+            )
+        except FileNotFoundError:
+            pass
+        self.supervision["quarantined"] += 1
+        self._bump("quarantined")
+        _log.warning("cache.quarantined", extra={"hash": digest, "reason": reason})
 
     def _store_cached(self, outcome):
         if not self.cache or outcome["status"] != "ok":
             return
         os.makedirs(self.cache_dir, exist_ok=True)
+        outcome["checksum"] = compute_result_checksum(outcome["result"])
         path = self._cache_path(outcome["hash"])
         tmp = path + ".tmp"
         with open(tmp, "w") as handle:
@@ -510,6 +672,14 @@ class ExperimentPool:
         if self.log_path:
             job["log_path"] = self.log_path
             job["run_id"] = self.run_id
+        deadline = spec.deadline_s if spec.deadline_s is not None else self.run_timeout
+        if deadline is not None:
+            if not float(deadline) > 0:
+                raise ValueError(
+                    f"deadline_s must be > 0 seconds, got {deadline!r} "
+                    f"for {job['label']}"
+                )
+            job["deadline_s"] = float(deadline)
         interval = self._heartbeat_interval()
         if interval is not None:
             from repro.experiments.monitor import heartbeat_dir
@@ -560,6 +730,7 @@ class ExperimentPool:
         fail; failures are journaled and collected on ``self.failures``.
         """
         specs = list(specs)
+        self._sweep_heartbeats()
         order = []
         pending = []
         queued = set()
@@ -577,7 +748,21 @@ class ExperimentPool:
             queued.add(digest)
             pending.append(self._job(spec, digest))
         self._execute(pending)
+        # Clean finish: heartbeat files of the runs just completed are
+        # hygiene debt -- sweep them so `status` never reports ghosts.
+        self._sweep_heartbeats(order)
         return [self._memory[digest] for digest in order]
+
+    def _sweep_heartbeats(self, extra_hashes=()):
+        """Remove heartbeat files of finished/cached runs (ghosts)."""
+        if not self.cache_dir:
+            return
+        from repro.experiments.monitor import read_manifest, sweep_heartbeats
+
+        finished = {entry.get("hash") for entry in read_manifest(self.cache_dir)}
+        finished.update(extra_hashes)
+        finished.discard(None)
+        sweep_heartbeats(self.cache_dir, finished_hashes=finished)
 
     def run_results(self, specs):
         """Execute ``specs`` and decode their results, in spec order.
@@ -602,44 +787,314 @@ class ExperimentPool:
             if monitor is not None:
                 monitor.stop()
 
-    def _execute_pending(self, pending):
-        if self.jobs == 1 or len(pending) == 1:
-            for job in pending:
-                self._finish(_execute_job(job))
-            return
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+    def _backend_for(self, pending_count):
+        """The executor backend instance for this batch of jobs."""
+        if self.backend is None and (self.jobs == 1 or pending_count == 1):
+            effective_jobs = 1  # historical fast path: inline
+        else:
+            effective_jobs = self.jobs
+        return make_backend(self.backend, effective_jobs)
 
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {executor.submit(_execute_job, job): job for job in pending}
-            for future in as_completed(futures):
-                job = futures[future]
-                try:
-                    outcome = future.result()
-                except Exception as exc:  # the worker process itself died
-                    outcome = {
+    def _execute_pending(self, pending):
+        backend = self._backend_for(len(pending))
+        backend.start(min(self.jobs, len(pending)) or 1)
+        self._interrupt = None
+        restore = self._install_signal_handlers() if backend.supports_kill else None
+        try:
+            self._supervise(backend, pending)
+        finally:
+            backend.shutdown()
+            if restore:
+                for signum, previous in restore.items():
+                    signal.signal(signum, previous)
+
+    def _install_signal_handlers(self):
+        """SIGINT/SIGTERM set a drain flag instead of killing the sweep.
+
+        Only possible from the main thread (a pool driven from a
+        worker thread keeps the process's default handlers).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+
+        def _request_drain(signum, frame):
+            self._interrupt = signum
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _request_drain)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+        return previous
+
+    # -- the supervision loop ------------------------------------------
+    #: Seconds between supervisor wakeups while work is in flight.
+    POLL_S = 0.05
+
+    def _supervise(self, backend, pending):
+        """Dispatch, watch, retry, and journal one batch of jobs.
+
+        The loop owns three collections: ``queue`` (ready to
+        dispatch), ``waiting`` (retries backing off), and ``running``
+        (handle -> attempt record). It exits when all three are empty
+        -- or raises :class:`SweepInterrupted` after a graceful drain.
+        """
+        queue = collections.deque(
+            {"job": dict(job), "attempt": 1} for job in pending
+        )
+        waiting = []  # (not_before_monotonic, attempt record)
+        running = {}  # backend handle -> attempt record
+        while queue or waiting or running:
+            if self._interrupt is not None:
+                self._drain(backend, queue, waiting, running)
+            now = time.monotonic()
+            if waiting:
+                due = [w for w in waiting if w[0] <= now]
+                waiting = [w for w in waiting if w[0] > now]
+                queue.extend(record for _t, record in due)
+            while queue and backend.capacity() > 0 and self._interrupt is None:
+                self._dispatch(backend, queue.popleft(), running)
+            timeout = self._poll_timeout(now, waiting, running)
+            for handle, payload in backend.poll(timeout):
+                record = running.pop(handle)
+                self._complete(record, payload, waiting)
+            if running and backend.supports_kill:
+                self._enforce_deadlines(backend, running)
+                self._detect_hangs(backend, running)
+
+    def _poll_timeout(self, now, waiting, running):
+        if running:
+            return self.POLL_S
+        if waiting:
+            return max(0.0, min(t for t, _r in waiting) - now)
+        return 0.0
+
+    def _dispatch(self, backend, record, running):
+        job = record["job"]
+        job["attempt"] = record["attempt"]
+        record["started"] = time.monotonic()
+        record["started_wall"] = time.time()
+        record["kill_reason"] = None
+        record["kill_detail"] = ""
+        try:
+            handle = backend.submit(job)
+        except OSError as exc:  # fork/pipe failure: host-side, transient
+            self._transient_failure(
+                record,
+                retry_taxonomy.DISPATCH_ERROR,
+                f"{type(exc).__name__}: {exc}",
+                [],
+            )
+            return
+        running[handle] = record
+
+    def _enforce_deadlines(self, backend, running):
+        now = time.monotonic()
+        for handle, record in running.items():
+            deadline = record["job"].get("deadline_s")
+            if deadline is None or record["kill_reason"] is not None:
+                continue
+            elapsed = now - record["started"]
+            if elapsed > deadline:
+                record["kill_reason"] = retry_taxonomy.TIMEOUT
+                record["kill_detail"] = (
+                    f"run exceeded its {deadline:.1f}s deadline "
+                    f"({elapsed:.1f}s elapsed); worker killed"
+                )
+                self.supervision["timeouts"] += 1
+                _log.warning(
+                    "run.timeout",
+                    extra={
+                        "hash": record["job"]["hash"],
+                        "label": record["job"]["label"],
+                        "attempt": record["attempt"],
+                        "deadline_s": deadline,
+                    },
+                )
+                backend.kill(handle, reason=retry_taxonomy.TIMEOUT)
+
+    def _detect_hangs(self, backend, running):
+        """Kill workers whose live-phase heartbeat went stale."""
+        if self.hang_intervals is None or self._heartbeat_interval() is None:
+            return
+        from repro.experiments.monitor import TERMINAL_PHASES, read_heartbeat
+
+        now_wall = time.time()
+        for handle, record in running.items():
+            if record["kill_reason"] is not None:
+                continue
+            beat = read_heartbeat(self.cache_dir, record["job"]["hash"])
+            if beat is None or beat.get("phase") in TERMINAL_PHASES:
+                continue
+            if beat.get("started", 0) < record["started_wall"] - 1.0:
+                continue  # a ghost from a previous attempt or sweep
+            age = now_wall - beat.get("updated", now_wall)
+            horizon = self.hang_intervals * beat.get(
+                "interval", self._heartbeat_interval() or 1.0
+            )
+            if age <= horizon:
+                continue
+            record["kill_reason"] = retry_taxonomy.HUNG
+            record["kill_detail"] = (
+                f"live-phase heartbeat stale for {age:.1f}s "
+                f"(> {horizon:.1f}s); worker killed"
+            )
+            self.supervision["hangs"] += 1
+            _log.warning(
+                "run.hung",
+                extra={
+                    "hash": record["job"]["hash"],
+                    "label": record["job"]["label"],
+                    "attempt": record["attempt"],
+                    "stale_s": age,
+                },
+            )
+            self._write_hang_postmortem(record, beat)
+            backend.kill(handle, reason=retry_taxonomy.HUNG)
+
+    def _complete(self, record, payload, waiting):
+        """Classify one finished attempt: done, permanent, or retry."""
+        job = record["job"]
+        if isinstance(payload, WorkerDeath):
+            kind = record["kill_reason"] or retry_taxonomy.WORKER_DIED
+            detail = record["kill_detail"] or payload.describe()
+            if kind == retry_taxonomy.WORKER_DIED:
+                self.supervision["worker_deaths"] += 1
+                _log.error(
+                    "run.worker_died",
+                    extra={
                         "hash": job["hash"],
                         "label": job["label"],
-                        "fn": job["fn"],
-                        "status": "error",
-                        "elapsed": 0.0,
-                        "telemetry_machines": 0,
-                        "faults_injected": 0,
-                        "error": {
-                            "type": type(exc).__name__,
-                            "message": str(exc),
-                            "traceback": "",
-                        },
-                    }
-                    _log.error(
-                        "run.worker_died",
-                        extra={
-                            "hash": job["hash"],
-                            "label": job["label"],
-                            "error": type(exc).__name__,
-                        },
-                    )
-                self._finish(outcome)
+                        "attempt": record["attempt"],
+                        "exitcode": payload.exitcode,
+                    },
+                )
+            self._transient_failure(record, kind, detail, waiting)
+            return
+        # A real outcome dict: ok, or the workload raised (permanent).
+        payload["attempts"] = record["attempt"]
+        self._finish(payload)
+
+    def _transient_failure(self, record, kind, detail, waiting):
+        """Requeue with backoff, or journal a terminal transient error."""
+        job = record["job"]
+        self._discard_heartbeat(job["hash"])
+        if self.retry.allows(record["attempt"]):
+            delay = self.retry.delay(record["attempt"], key=job["hash"])
+            self.supervision["retries"] += 1
+            self._bump("retried")
+            _log.info(
+                "run.retry",
+                extra={
+                    "hash": job["hash"],
+                    "label": job["label"],
+                    "kind": kind,
+                    "attempt": record["attempt"] + 1,
+                    "max_attempts": self.retry.max_attempts,
+                    "delay_s": round(delay, 3),
+                },
+            )
+            waiting.append(
+                (
+                    time.monotonic() + delay,
+                    {"job": job, "attempt": record["attempt"] + 1},
+                )
+            )
+            return
+        started = record.get("started")
+        self._finish(
+            {
+                "hash": job["hash"],
+                "label": job["label"],
+                "fn": job["fn"],
+                "status": "error",
+                "elapsed": time.monotonic() - started if started else 0.0,
+                "telemetry_machines": 0,
+                "faults_injected": 0,
+                "attempts": record["attempt"],
+                "transient": kind,
+                "error": {
+                    "type": retry_taxonomy.KIND_ERROR_TYPES.get(kind, "WorkerDied"),
+                    "message": f"{detail} (attempt {record['attempt']}"
+                    f"/{self.retry.max_attempts})",
+                    "traceback": "",
+                },
+            }
+        )
+
+    def _discard_heartbeat(self, digest):
+        """Drop the dead attempt's heartbeat so the next attempt (and
+        hang detection) never reads a stale file."""
+        if not self.cache_dir:
+            return
+        from repro.experiments.monitor import heartbeat_path
+
+        try:
+            os.unlink(heartbeat_path(self.cache_dir, digest))
+        except OSError:
+            pass
+
+    def _write_hang_postmortem(self, record, beat):
+        """A SIGKILLed worker cannot drain its flight recorder, so the
+        supervisor leaves the postmortem stub in its place."""
+        job = record["job"]
+        outdir = job.get("postmortem_dir") or self._postmortem_dir(
+            job["hash"], job["label"]
+        )
+        if not outdir:
+            return None
+        os.makedirs(outdir, exist_ok=True)
+        path = os.path.join(outdir, "postmortem.json")
+        if os.path.exists(path):  # keep an earlier attempt's evidence
+            path = os.path.join(
+                outdir, f"postmortem-attempt{record['attempt']}.json"
+            )
+        payload = {
+            "kind": "leviathan-postmortem",
+            "reason": "hung",
+            "detail": record["kill_detail"],
+            "hash": job["hash"],
+            "label": job["label"],
+            "attempt": record["attempt"],
+            "heartbeat": beat,
+            "machines": [],
+            "note": "worker was SIGKILLed by the pool supervisor; "
+            "no in-worker flight-recorder drain was possible",
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def _drain(self, backend, queue, waiting, running):
+        """Graceful shutdown: cancel, kill, flush, and raise."""
+        signum = self._interrupt
+        try:
+            signame = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            signame = f"signal {signum}"
+        cancelled = len(queue) + len(waiting)
+        killed = len(running)
+        queue.clear()
+        waiting.clear()
+        for handle in list(running):
+            backend.kill(handle, reason="interrupted")
+        backend.shutdown()
+        running.clear()
+        # Every _append_manifest already flushed + fsynced its line;
+        # nothing buffered remains to lose.
+        _log.warning(
+            "sweep.interrupted",
+            extra={
+                "signal": signame,
+                "finished": self._pending_done,
+                "total": self._pending_total,
+                "cancelled": cancelled,
+                "killed": killed,
+            },
+        )
+        raise SweepInterrupted(signame, self._pending_done, self._pending_total)
 
     def _start_monitor(self):
         import sys
@@ -705,12 +1160,26 @@ class ExperimentPool:
             return None
         from repro.experiments.telemetry_report import write_dashboard
 
-        summary = write_dashboard(root)
+        summary = write_dashboard(root, supervision=self.supervision_summary())
         if summary is not None:
             _log.info(
                 "sweep.dashboard",
                 extra={"root": root, "runs": summary.get("runs", 0)},
             )
+        return summary
+
+    def supervision_summary(self):
+        """Host-side supervision rollup for the dashboard and CLI."""
+        summary = dict(self.supervision)
+        summary["retry_policy"] = {
+            "max_attempts": self.retry.max_attempts,
+            "base_delay": self.retry.base_delay,
+            "factor": self.retry.factor,
+            "jitter": self.retry.jitter,
+            "jitter_seed": self.retry.jitter_seed,
+        }
+        summary["run_timeout"] = self.run_timeout
+        summary["hang_intervals"] = self.hang_intervals
         return summary
 
     def _bump(self, key, amount=1):

@@ -252,6 +252,17 @@ def render_dashboard(agg):
             if agg["runs_with_problems"]
             else ""
         ),
+    ]
+    supervision = agg.get("supervision")
+    if supervision is not None:
+        lines.append(
+            f"- host supervision: **{supervision.get('retries', 0)}** retries,"
+            f" **{supervision.get('worker_deaths', 0)}** worker deaths,"
+            f" **{supervision.get('timeouts', 0)}** deadline kills,"
+            f" **{supervision.get('hangs', 0)}** hang kills,"
+            f" **{supervision.get('quarantined', 0)}** cache entries quarantined"
+        )
+    lines += [
         f"- total simulated cycles: **{agg['cycles']['total']:.0f}**"
         f" (min {agg['cycles']['min']}, max {agg['cycles']['max']})"
         if agg["cycles"]["min"] is not None
@@ -288,13 +299,19 @@ def render_dashboard(agg):
     return "\n".join(lines)
 
 
-def write_dashboard(root):
+def write_dashboard(root, supervision=None):
     """Aggregate ``root`` and drop ``dashboard.json`` + ``dashboard.md``.
 
-    Returns the aggregate dict, or None when the sweep left no runs to
-    aggregate (nothing is written in that case).
+    ``supervision`` is the pool's host-side rollup (retries, hang and
+    deadline kills, quarantined cache entries -- see
+    :meth:`~repro.experiments.pool.ExperimentPool.supervision_summary`)
+    and is embedded verbatim when given. Returns the aggregate dict, or
+    None when the sweep left no runs to aggregate (nothing is written
+    in that case).
     """
     agg = aggregate_sweep(root)
+    if supervision is not None:
+        agg["supervision"] = supervision
     if not agg["runs"]:
         return None
     with open(os.path.join(root, "dashboard.json"), "w") as handle:

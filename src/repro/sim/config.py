@@ -43,6 +43,36 @@ class CoreConfig:
     #: after each failed retry (bounded-retry mode only).
     invoke_retry_backoff: float = 2.0
 
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self):
+        """Reject nonsensical retry knobs at construction, not mid-run.
+
+        Re-invoked by :meth:`SystemConfig.__post_init__` so overrides
+        applied through :meth:`SystemConfig.scaled` are caught too.
+        """
+        if self.invoke_buffer_entries < 1:
+            raise ValueError(
+                f"core.invoke_buffer_entries must be >= 1, "
+                f"got {self.invoke_buffer_entries!r}"
+            )
+        if self.invoke_retry_delay < 0:
+            raise ValueError(
+                f"core.invoke_retry_delay must be >= 0 cycles, "
+                f"got {self.invoke_retry_delay!r}"
+            )
+        if self.invoke_max_retries is not None and self.invoke_max_retries < 1:
+            raise ValueError(
+                f"core.invoke_max_retries must be None (unbounded) or >= 1, "
+                f"got {self.invoke_max_retries!r}"
+            )
+        if self.invoke_retry_backoff < 1.0:
+            raise ValueError(
+                f"core.invoke_retry_backoff must be >= 1.0 "
+                f"(delays may never shrink), got {self.invoke_retry_backoff!r}"
+            )
+
 
 @dataclass
 class EngineConfig:
@@ -232,6 +262,7 @@ class SystemConfig:
     scheduler_mode: str = "runlist"
 
     def __post_init__(self):
+        self.core.validate()
         if not _is_power_of_two(self.n_tiles):
             raise ValueError(f"n_tiles must be a power of two, got {self.n_tiles}")
         if not _is_power_of_two(self.line_size):

@@ -37,6 +37,36 @@ import time
 
 ROOT_LOGGER = "leviathan"
 
+#: The stable record-type vocabulary. Every ``event`` field written by
+#: the repo comes from this set, so log consumers (dashboards, CI
+#: assertions, ad-hoc ``jq`` filters) can match on exact names instead
+#: of guessing. New emit sites must register their event here --
+#: ``tests/test_runlog.py`` cross-checks the source tree against it.
+KNOWN_EVENTS = frozenset(
+    {
+        # pool lifecycle (one record per run attempt)
+        "run.start",
+        "run.end",
+        "run.error",
+        # host-side supervision (PR 8)
+        "run.worker_died",  # worker vanished without an outcome
+        "run.retry",  # transient failure requeued with backoff
+        "run.timeout",  # wall-clock deadline exceeded; worker killed
+        "run.hung",  # live-phase heartbeat went stale; worker killed
+        "sweep.interrupted",  # SIGINT/SIGTERM graceful drain
+        "cache.quarantined",  # corrupt cache entry moved aside
+        "heartbeats.swept",  # ghost heartbeat files removed
+        # sweep aggregation
+        "sweep.dashboard",
+        # simulator-side lifecycle
+        "faults.armed",
+        "faults.injected",
+        "flightrec.postmortem",
+        "scheduler.watchdog_fired",
+        "scheduler.deadlock",
+    }
+)
+
 #: LogRecord attributes that are bookkeeping, not user fields. Anything
 #: else found on a record (i.e. passed via ``extra=``) is exported.
 _RESERVED = frozenset(

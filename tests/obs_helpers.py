@@ -7,6 +7,8 @@ file. The invoke workload also serves the flight-recorder tests, which
 need a run that emits plenty of bus events.
 """
 
+import os
+import signal
 import time
 
 from repro.core.actor import Actor, action
@@ -20,6 +22,49 @@ from repro.sim.system import Machine
 def slow_point(tag, seconds=0.3):
     """Sleep long enough for a heartbeat/status poll to catch the run."""
     time.sleep(seconds)
+    return {"tag": tag}
+
+
+def flaky_point(sentinel, tag="flaky"):
+    """SIGKILL our own worker once; succeed after the sentinel exists.
+
+    Exercises the supervisor's transient-failure path: the first
+    attempt leaves a sentinel file and dies without an outcome; the
+    requeued attempt sees the sentinel and returns normally.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempt 1 died here\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"tag": tag}
+
+
+def slow_once_point(sentinel, tag="slow-once", seconds=60.0):
+    """Blow the run deadline once; succeed on the retried attempt."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempt 1 overslept here\n")
+        time.sleep(seconds)
+    return {"tag": tag}
+
+
+def hang_point(sentinel, tag="hang", seconds=120.0):
+    """Simulate a hung worker once; succeed on the retried attempt.
+
+    The first attempt suspends its own heartbeat writer and sleeps --
+    to the supervisor this is indistinguishable from a livelocked or
+    SIGSTOPped worker, so it must be killed via hang detection and
+    requeued. The retried attempt sees the sentinel and returns.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempt 1 hung here\n")
+        from repro.experiments.monitor import current_heartbeat
+
+        writer = current_heartbeat()
+        if writer is not None:
+            writer.suspend()
+        time.sleep(seconds)
     return {"tag": tag}
 
 

@@ -141,3 +141,44 @@ class TestSystemConfig:
         core = CoreConfig()
         assert core.ipc > 1
         assert core.fence_penalty > 0
+
+
+class TestCoreConfigValidation:
+    def test_defaults_are_valid(self):
+        CoreConfig().validate()  # must not raise
+
+    def test_buffer_entries_must_be_positive(self):
+        with pytest.raises(ValueError, match="invoke_buffer_entries"):
+            CoreConfig(invoke_buffer_entries=0)
+
+    def test_retry_delay_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="invoke_retry_delay"):
+            CoreConfig(invoke_retry_delay=-1)
+
+    def test_max_retries_none_or_positive(self):
+        CoreConfig(invoke_max_retries=None)
+        CoreConfig(invoke_max_retries=1)
+        with pytest.raises(ValueError, match="invoke_max_retries"):
+            CoreConfig(invoke_max_retries=0)
+
+    def test_retry_backoff_may_never_shrink(self):
+        with pytest.raises(ValueError, match="invoke_retry_backoff"):
+            CoreConfig(invoke_retry_backoff=0.5)
+
+    def test_system_config_revalidates_core(self):
+        # dataclasses.replace skips __post_init__ validation on the
+        # nested core, so SystemConfig must re-run it.
+        bad = dataclasses.replace(
+            SystemConfig(),
+            core=dataclasses.replace(CoreConfig(), invoke_retry_backoff=2.0),
+        )
+        assert bad.core.invoke_retry_backoff == 2.0
+        with pytest.raises(ValueError, match="invoke_retry_backoff"):
+            SystemConfig().scaled(**{"core.invoke_retry_backoff": 0.25})
+
+    def test_scaled_valid_retry_overrides_pass(self):
+        cfg = SystemConfig().scaled(
+            **{"core.invoke_max_retries": 3, "core.invoke_retry_backoff": 1.5}
+        )
+        assert cfg.core.invoke_max_retries == 3
+        assert cfg.core.invoke_retry_backoff == 1.5

@@ -227,3 +227,94 @@ class TestDashboard:
     def test_dashboard_without_runs_is_none(self, tmp_path):
         pool = ExperimentPool(jobs=1, cache_dir=None, telemetry_dir=str(tmp_path))
         assert pool.write_dashboard() is None
+
+
+class TestHeartbeatHelpers:
+    def test_read_heartbeat_round_trip(self, tmp_path):
+        from repro.experiments.monitor import read_heartbeat
+
+        payload = _write_heartbeat(tmp_path)
+        beat = read_heartbeat(str(tmp_path), payload["hash"])
+        assert beat["label"] == payload["label"]
+        assert read_heartbeat(str(tmp_path), "f" * 24) is None
+
+    def test_read_heartbeat_tolerates_torn_file(self, tmp_path):
+        from repro.experiments.monitor import heartbeat_path, read_heartbeat
+
+        payload = _write_heartbeat(tmp_path)
+        with open(heartbeat_path(str(tmp_path), payload["hash"]), "w") as handle:
+            handle.write('{"kind": "leviathan-hea')
+        assert read_heartbeat(str(tmp_path), payload["hash"]) is None
+
+    def test_sweep_removes_terminal_and_finished_beats(self, tmp_path):
+        from repro.experiments.monitor import sweep_heartbeats
+
+        _write_heartbeat(tmp_path, hash="a" * 24, phase="done")
+        _write_heartbeat(tmp_path, hash="b" * 24, phase="simulating")
+        _write_heartbeat(tmp_path, hash="c" * 24, phase="simulating")
+        removed = sweep_heartbeats(str(tmp_path), finished_hashes={"b" * 24})
+        assert removed == 2  # the terminal one and the finished one
+        remaining = {b["hash"] for b in read_heartbeats(str(tmp_path))}
+        assert remaining == {"c" * 24}  # live in-flight beat untouched
+
+    def test_suspend_skips_periodic_beats_but_not_stop(self, tmp_path):
+        writer = HeartbeatWriter(str(tmp_path), "d" * 24, "w/susp", interval=0.05)
+        writer.start()
+        try:
+            writer.suspend()
+            path = writer.path
+            before = os.path.getmtime(path)
+            stamp = json.load(open(path))["updated"]
+            time.sleep(0.2)
+            assert json.load(open(path))["updated"] == stamp  # no beats
+        finally:
+            writer.stop(phase="done")
+        assert json.load(open(path))["phase"] == "done"  # final beat wrote
+
+    def test_current_heartbeat_tracks_active_writer(self, tmp_path):
+        from repro.experiments.monitor import current_heartbeat
+
+        assert current_heartbeat() is None
+        writer = HeartbeatWriter(str(tmp_path), "e" * 24, "w/cur", interval=0.5)
+        writer.start()
+        try:
+            assert current_heartbeat() is writer
+        finally:
+            writer.stop()
+        assert current_heartbeat() is None
+
+
+class TestRetriesInStatus:
+    def _manifest(self, root, entries):
+        os.makedirs(str(root), exist_ok=True)
+        with open(os.path.join(str(root), "manifest.jsonl"), "w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+
+    def test_summarize_counts_retries(self, tmp_path):
+        self._manifest(
+            tmp_path,
+            [
+                {"hash": "a" * 24, "status": "ok", "attempts": 3, "cached": False},
+                {"hash": "b" * 24, "status": "ok", "attempts": 1, "cached": False},
+                {"hash": "c" * 24, "status": "error", "attempts": 2, "cached": False},
+            ],
+        )
+        summary = summarize_sweep(str(tmp_path))
+        assert summary["retries"] == 3  # (3-1) + (2-1)
+
+    def test_status_renders_retry_count(self, tmp_path):
+        self._manifest(
+            tmp_path,
+            [{"hash": "a" * 24, "status": "ok", "attempts": 2, "cached": False}],
+        )
+        text, ok = render_status(str(tmp_path))
+        assert ok and "1 retried" in text
+
+    def test_status_omits_retries_when_none(self, tmp_path):
+        self._manifest(
+            tmp_path,
+            [{"hash": "a" * 24, "status": "ok", "attempts": 1, "cached": False}],
+        )
+        text, ok = render_status(str(tmp_path))
+        assert ok and "retried" not in text

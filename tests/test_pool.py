@@ -119,6 +119,27 @@ class TestDeterminism:
             exp4.rows, sort_keys=True
         )
 
+    def test_process_backend_without_retries_matches_inline(self, tmp_path):
+        """The supervised backend is a pure mechanism swap: fig18 on
+        LocalProcessBackend with retry disabled is byte-for-byte the
+        historical pool's output."""
+        from repro.experiments import figures
+        from repro.experiments.retry import RetryPolicy
+
+        inline = ExperimentPool(jobs=1, cache_dir=str(tmp_path / "ci"))
+        supervised = ExperimentPool(
+            jobs=4,
+            cache_dir=str(tmp_path / "cs"),
+            backend="local-process",
+            retry=RetryPolicy(max_attempts=1),
+        )
+        exp1 = figures.run_fig18(params=_TINY, sizes=(24, 64), pool=inline)
+        exp4 = figures.run_fig18(params=_TINY, sizes=(24, 64), pool=supervised)
+        assert json.dumps(exp1.rows, sort_keys=True) == json.dumps(
+            exp4.rows, sort_keys=True
+        )
+        assert supervised.supervision["retries"] == 0
+
     def test_cache_round_trip_is_bit_identical(self, tmp_path):
         """Figure data decoded from the disk cache matches fresh data."""
         from repro.experiments import figures

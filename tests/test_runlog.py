@@ -2,10 +2,13 @@
 
 import json
 import logging
+import os
+import re
 
 import repro.experiments.cli as cli
 from repro.experiments.pool import ExperimentPool, RunSpec
 from repro.sim.telemetry.log import (
+    KNOWN_EVENTS,
     ROOT_LOGGER,
     clear_log_context,
     configure_run_logging,
@@ -113,3 +116,59 @@ class TestStatusCli:
         assert cli.main(["status", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "running (0)" in out
+
+
+class TestKnownEvents:
+    """The ``KNOWN_EVENTS`` vocabulary stays in lockstep with the code.
+
+    Scans every emit site in ``src/`` (``<logger>.info("dotted.name",
+    ...)`` and friends) and cross-checks it against the registry both
+    ways: an unregistered emit is a silent vocabulary leak, a
+    registered-but-never-emitted event is dead weight that log
+    consumers would wait on forever.
+    """
+
+    _EMIT = re.compile(
+        r"\.(?:debug|info|warning|error|critical)\(\s*\"([a-z][a-z0-9_.]*)\"",
+        re.DOTALL,
+    )
+
+    def _emitted_events(self):
+        root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        events = set()
+        for dirpath, _dirs, files in os.walk(root):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                with open(os.path.join(dirpath, name)) as handle:
+                    for match in self._EMIT.finditer(handle.read()):
+                        event = match.group(1)
+                        if "." in event:  # dotted names only: log events
+                            events.add(event)
+        return events
+
+    def test_every_emit_site_is_registered(self):
+        emitted = self._emitted_events()
+        assert emitted, "event scan found nothing -- regex or layout drift"
+        unregistered = emitted - KNOWN_EVENTS
+        assert not unregistered, (
+            f"log events emitted but missing from KNOWN_EVENTS: "
+            f"{sorted(unregistered)}"
+        )
+
+    def test_every_registered_event_is_emitted(self):
+        dead = KNOWN_EVENTS - self._emitted_events()
+        assert not dead, f"KNOWN_EVENTS entries never emitted: {sorted(dead)}"
+
+    def test_supervision_events_registered(self):
+        assert {
+            "run.worker_died",
+            "run.retry",
+            "run.timeout",
+            "run.hung",
+            "sweep.interrupted",
+            "cache.quarantined",
+            "heartbeats.swept",
+        } <= KNOWN_EVENTS
