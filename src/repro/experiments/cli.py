@@ -253,6 +253,12 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    if args.run_retries is not None and args.run_retries < 1:
+        parser.error(
+            f"--run-retries must be >= 1 (1 disables retry), "
+            f"got {args.run_retries}"
+        )
+
     if args.experiment == "bench":
         return _run_bench(args)
 

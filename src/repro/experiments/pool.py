@@ -787,16 +787,44 @@ class ExperimentPool:
             if monitor is not None:
                 monitor.stop()
 
-    def _backend_for(self, pending_count):
-        """The executor backend instance for this batch of jobs."""
-        if self.backend is None and (self.jobs == 1 or pending_count == 1):
-            effective_jobs = 1  # historical fast path: inline
-        else:
-            effective_jobs = self.jobs
+    def _backend_for(self, pending):
+        """The executor backend instance for this batch of jobs.
+
+        The inline fast path cannot preempt a running job, so it is
+        only taken when nothing needs preempting: with ``jobs > 1``, a
+        single pending run still gets a worker process whenever a
+        deadline or hang detection applies. ``jobs=1`` is an explicit
+        serial contract and stays inline -- with a warning when that
+        leaves a configured deadline unenforced.
+        """
+        supervised = self._needs_preemption(pending)
+        effective_jobs = self.jobs
+        if self.backend is None and (self.jobs == 1 or len(pending) == 1):
+            if self.jobs == 1:
+                effective_jobs = 1
+                if supervised:
+                    _log.warning(
+                        "pool.inline_unsupervised",
+                        extra={
+                            "detail": "jobs=1 runs inline; deadlines and "
+                            "hang kills cannot preempt a blocking call"
+                        },
+                    )
+            elif not supervised:
+                effective_jobs = 1  # historical fast path: inline
         return make_backend(self.backend, effective_jobs)
 
+    def _needs_preemption(self, pending):
+        """Whether this batch relies on killing a running worker."""
+        if any(job.get("deadline_s") is not None for job in pending):
+            return True
+        return (
+            self.hang_intervals is not None
+            and self._heartbeat_interval() is not None
+        )
+
     def _execute_pending(self, pending):
-        backend = self._backend_for(len(pending))
+        backend = self._backend_for(pending)
         backend.start(min(self.jobs, len(pending)) or 1)
         self._interrupt = None
         restore = self._install_signal_handlers() if backend.supports_kill else None
@@ -831,6 +859,11 @@ class ExperimentPool:
     # -- the supervision loop ------------------------------------------
     #: Seconds between supervisor wakeups while work is in flight.
     POLL_S = 0.05
+    #: Cap on one poll sleep while only backoff waits exist: PEP 475
+    #: resumes an interrupted sleep after the SIGINT handler returns,
+    #: so an uncapped backoff wait (up to RetryPolicy.max_delay) would
+    #: stall the graceful drain for its full duration.
+    BACKOFF_POLL_S = 0.25
 
     def _supervise(self, backend, pending):
         """Dispatch, watch, retry, and journal one batch of jobs.
@@ -854,7 +887,7 @@ class ExperimentPool:
                 waiting = [w for w in waiting if w[0] > now]
                 queue.extend(record for _t, record in due)
             while queue and backend.capacity() > 0 and self._interrupt is None:
-                self._dispatch(backend, queue.popleft(), running)
+                self._dispatch(backend, queue.popleft(), running, waiting)
             timeout = self._poll_timeout(now, waiting, running)
             for handle, payload in backend.poll(timeout):
                 record = running.pop(handle)
@@ -867,10 +900,11 @@ class ExperimentPool:
         if running:
             return self.POLL_S
         if waiting:
-            return max(0.0, min(t for t, _r in waiting) - now)
+            due = max(0.0, min(t for t, _r in waiting) - now)
+            return min(due, self.BACKOFF_POLL_S)
         return 0.0
 
-    def _dispatch(self, backend, record, running):
+    def _dispatch(self, backend, record, running, waiting):
         job = record["job"]
         job["attempt"] = record["attempt"]
         record["started"] = time.monotonic()
@@ -884,7 +918,7 @@ class ExperimentPool:
                 record,
                 retry_taxonomy.DISPATCH_ERROR,
                 f"{type(exc).__name__}: {exc}",
-                [],
+                waiting,
             )
             return
         running[handle] = record

@@ -25,6 +25,13 @@ class TestCli:
         with pytest.raises(KeyError):
             cli.main(["fig99"])
 
+    @pytest.mark.parametrize("retries", ["0", "-1"])
+    def test_bad_run_retries_is_a_usage_error(self, retries, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["list", "--run-retries", retries])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        assert "--run-retries must be >= 1" in capsys.readouterr().err
+
     def test_markdown_output(self, tmp_path, capsys):
         target = tmp_path / "report.md"
         assert cli.main(["table1", "--markdown", str(target)]) == 0

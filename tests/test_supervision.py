@@ -18,6 +18,7 @@ import time
 import pytest
 
 from repro.experiments import retry as retry_taxonomy
+from repro.experiments.backends import LocalProcessBackend
 from repro.experiments.pool import (
     ExperimentPool,
     IncompleteSweepError,
@@ -140,6 +141,77 @@ class TestRetryOnWorkerDeath:
             e["attempts"] for e in _read_manifest(str(tmp_path / "chaos"))
         )
         assert total_attempts > len(specs)  # chaos actually killed someone
+
+
+class _FlakySubmitBackend(LocalProcessBackend):
+    """``submit`` raises OSError ``failures`` times, then delegates.
+
+    Models a host-side fork/pipe failure (EAGAIN under fd or pid
+    pressure): the job never reaches a worker, so the supervisor must
+    requeue it from the dispatch path itself.
+    """
+
+    def __init__(self, failures=1):
+        super().__init__()
+        self.failures = failures
+
+    def submit(self, job):
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError("fork failed (EAGAIN)")
+        return super().submit(job)
+
+
+class TestDispatchErrors:
+    def test_dispatch_oserror_is_retried_end_to_end(self, tmp_path):
+        cache = tmp_path / "cache"
+        pool = _supervised_pool(cache, backend=_FlakySubmitBackend(failures=1))
+        spec = RunSpec(_SLOW, {"tag": "dispatch", "seconds": 0.0}, "sup/dispatch")
+        [result] = pool.run_results([spec])
+        assert result == {"tag": "dispatch"}
+        assert pool.supervision["retries"] == 1
+        [entry] = _read_manifest(str(cache))
+        assert entry["status"] == "ok"
+        assert entry["attempts"] == 2  # the requeued dispatch is journaled
+
+    def test_exhausted_dispatch_errors_become_terminal(self, tmp_path):
+        cache = tmp_path / "cache"
+        pool = _supervised_pool(
+            cache,
+            backend=_FlakySubmitBackend(failures=99),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0),
+        )
+        spec = RunSpec(_SLOW, {"tag": "undispatchable", "seconds": 0.0}, "sup/nodispatch")
+        with pytest.raises(IncompleteSweepError):
+            pool.run_results([spec])
+        [failure] = pool.failures
+        assert failure["transient"] == retry_taxonomy.DISPATCH_ERROR
+        assert failure["attempts"] == 2
+        assert "fork failed" in failure["error"]["message"]
+        [entry] = _read_manifest(str(cache))
+        assert entry["status"] == "error"
+
+
+class TestBackendSelection:
+    def test_single_pending_run_with_deadline_gets_process_backend(self, tmp_path):
+        pool = ExperimentPool(
+            jobs=4, cache_dir=str(tmp_path / "c"), run_timeout=30.0, progress=False
+        )
+        job = pool._job(RunSpec(_SLOW, {"tag": "x", "seconds": 0.0}, "sel/x"), "0" * 64)
+        assert pool._backend_for([job]).name == "local-process"
+
+    def test_single_pending_run_without_supervision_stays_inline(self, tmp_path):
+        pool = ExperimentPool(jobs=4, cache_dir=None, progress=False)
+        job = pool._job(RunSpec(_SLOW, {"tag": "x", "seconds": 0.0}, "sel/y"), "0" * 64)
+        assert pool._backend_for([job]).name == "local-inline"
+
+    def test_backoff_poll_timeout_is_capped(self, tmp_path):
+        pool = _supervised_pool(tmp_path / "cache")
+        now = 100.0
+        far = [(now + 30.0, {"job": {}, "attempt": 2})]
+        assert pool._poll_timeout(now, far, {}) == pool.BACKOFF_POLL_S
+        near = [(now + 0.05, {"job": {}, "attempt": 2})]
+        assert pool._poll_timeout(now, near, {}) == pytest.approx(0.05)
 
 
 class TestDeadlines:
