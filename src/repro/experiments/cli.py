@@ -56,7 +56,7 @@ import time
 import traceback
 
 from repro.experiments import registry
-from repro.experiments import ablations, figures, sensitivity, tables
+from repro.experiments import ablations, figures, sensitivity, serving, tables
 from repro.experiments.pool import ExperimentPool, SweepInterrupted
 from repro.experiments.retry import RetryPolicy
 
@@ -86,6 +86,10 @@ _EXPERIMENTS = {
         ablations.run_components,
         "PHI generality: connected components with min-combining",
     ),
+    "serve-kv": (serving.run_serve_kv, "serving zoo: KV request serving"),
+    "serve-paging": (serving.run_serve_paging, "serving zoo: LLM KV-cache paging"),
+    "serve-scan": (serving.run_serve_scan, "serving zoo: near-storage scan pushdown"),
+    "serve-replay": (serving.run_serve_replay, "serving zoo: JSONL trace replay"),
 }
 
 for _name, (_runner, _desc) in _EXPERIMENTS.items():

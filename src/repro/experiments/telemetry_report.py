@@ -220,6 +220,15 @@ def aggregate_sweep(root):
         hist["mean"] = hist["sum"] / count if count else 0.0
         for p in (50, 95, 99):
             hist[f"p{p}"] = _bucket_percentile(hist["buckets"], count, p)
+    # Serving workloads declare request classes (GET/PUT/SCAN/...); each
+    # surfaces as a request.latency.<class> histogram family. Roll them
+    # up under their own key so dashboards and CI can assert on
+    # per-class tail percentiles without string-matching family names.
+    requests = {
+        name.partition("request.latency.")[2]: hist
+        for name, hist in histograms.items()
+        if name.startswith("request.latency.")
+    }
     return {
         "kind": "leviathan-dashboard",
         "root": root,
@@ -233,6 +242,7 @@ def aggregate_sweep(root):
         "counters": dict(sorted(counters.items())),
         "subsystems": dict(sorted(subsystems.items())),
         "histograms": dict(sorted(histograms.items())),
+        "requests": dict(sorted(requests.items())),
         "faults_injected": faults_injected,
         "retries": counters.get("invoke.retries_observed", 0),
         "nacks": nacks,
@@ -286,6 +296,23 @@ def render_dashboard(agg):
             f"| {hist['p50']:.0f} | {hist['p95']:.0f} | {hist['p99']:.0f} "
             f"| {hist['max']:.0f} |"
         )
+    requests = agg.get("requests") or {}
+    if any(hist["count"] for hist in requests.values()):
+        lines += [
+            "",
+            "## Request-class latency percentiles (serving workloads)",
+            "",
+            "| class | n | mean | p50 | p95 | p99 | max |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for cls, hist in requests.items():
+            if not hist["count"]:
+                continue
+            lines.append(
+                f"| {cls} | {hist['count']} | {hist['mean']:.1f} "
+                f"| {hist['p50']:.0f} | {hist['p95']:.0f} | {hist['p99']:.0f} "
+                f"| {hist['max']:.0f} |"
+            )
     lines += [
         "",
         "## Per-subsystem counter totals",

@@ -64,6 +64,7 @@ class Machine:
         "leviathan",
         "_cid",
         "faults",
+        "request_classes",
     )
 
     def __init__(self, config, energy_params=None):
@@ -101,6 +102,12 @@ class Machine:
         #: None (the default: no fault injection, zero overhead -- emit
         #: sites guard on ``faults is None`` like ``events.active``).
         self.faults = None
+        #: Request-class map for serving workloads, or None. Maps an
+        #: invoke action name or stream base name to a request-class
+        #: label; telemetry buckets span latencies per class under
+        #: ``request.latency.<class>``. Declared via
+        #: :func:`repro.sim.telemetry.requests.declare_request_classes`.
+        self.request_classes = None
         # Last: hand the fully-built machine to any installed telemetry
         # or fault session (module-global checks; no-ops when inactive).
         notify_machine_created(self)

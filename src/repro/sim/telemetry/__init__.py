@@ -30,6 +30,10 @@ from repro.sim.telemetry.perfetto import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.sim.telemetry.requests import (
+    RequestLatencyProbe,
+    declare_request_classes,
+)
 from repro.sim.telemetry.session import (
     Telemetry,
     TelemetrySession,
@@ -49,6 +53,8 @@ __all__ = [
     "LogHistogram",
     "MetricsRegistry",
     "TimeSeries",
+    "RequestLatencyProbe",
+    "declare_request_classes",
     "Span",
     "SpanTracker",
     "Telemetry",

@@ -168,6 +168,7 @@ class Telemetry:
                     self.metrics.histogram(metric).observe(cycles)
             if span.args.get("nacks"):
                 self.metrics.counter("invoke.nacked_spans").inc()
+            self._observe_request(span.name.partition(":")[2], span.duration)
         elif span.cat == "stream":
             stream = span.name.split("[", 1)[0]
             self.metrics.histogram(
@@ -175,10 +176,30 @@ class Telemetry:
                 labels={"stream": stream},
                 help="push to pop, cycles",
             ).observe(span.duration)
+            self._observe_request(stream, span.duration)
         elif span.cat == "stream-wait":
             self.metrics.histogram(
                 "stream.block_cycles", labels={"side": span.args.get("side", "?")}
             ).observe(span.duration)
+
+    def _observe_request(self, key, duration):
+        """Bucket a closed span into its request-class latency histogram.
+
+        Serving workloads declare ``machine.request_classes`` -- a map
+        from invoke action name / stream base name to request class (see
+        :mod:`repro.sim.telemetry.requests`). Machines that never
+        declare one (every non-serving workload) skip this entirely.
+        """
+        classes = self.machine.request_classes
+        if not classes:
+            return
+        cls = classes.get(key)
+        if cls is None:
+            return
+        self.metrics.histogram(
+            f"request.latency.{cls}",
+            help="request issue to completion per request class, cycles",
+        ).observe(duration)
 
     # ------------------------------------------------------------------
     # handlers: resilience (fault injection, retries, degradation)

@@ -1,8 +1,9 @@
-"""The paper's four case studies and their baselines.
+"""The workloads: the paper's case studies and the serving zoo.
 
-Each module exposes ``run_<variant>()`` functions returning a
-:class:`~repro.workloads.common.RunResult` plus a ``run_all()`` driver
-used by the figure benchmarks:
+Each module exposes pure ``run_<variant>()`` entry points returning a
+:class:`~repro.workloads.common.RunResult` (see ``docs/workloads.md``
+for the full authoring contract). The paper's four case studies, plus
+the connected-components generality ablation:
 
 - :mod:`repro.workloads.phi` -- commutative scatter-updates (Sec. IV,
   Fig. 5): baseline push PageRank, tākō with fenced and relaxed
@@ -19,4 +20,12 @@ used by the figure benchmarks:
 - :mod:`repro.workloads.components` -- connected components with
   commutative *min* combining: PHI generality beyond Fig. 5's
   PageRank (Sec. IV's "diversity of graph applications" point).
+
+The **serving zoo** (:mod:`repro.workloads.serving`) maps the same
+four NDC paradigms onto serving- and storage-shaped traffic: KV
+request serving with open-loop arrivals and tail-latency tracking,
+morph-paged LLM KV-cache decode, near-storage scan/filter/join
+pushdown, and a JSONL trace-replay driver. Shared generators live in
+:mod:`repro.workloads.distributions`; shared result types in
+:mod:`repro.workloads.common`.
 """

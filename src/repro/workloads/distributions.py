@@ -1,9 +1,17 @@
-"""Key/index distributions used by the case studies.
+"""Key, index, and arrival-time distributions used by the workloads.
 
 The paper indexes the decompression array "using a Zipfian
 distribution [17] of 32 K accesses" and generates hash-table keys "from
-a uniform distribution" (with similar results under Zipf). Both
-generators are deterministic under a seed.
+a uniform distribution" (with similar results under Zipf). The serving
+zoo (:mod:`repro.workloads.serving`) adds two more generators: a
+Poisson (exponential-interarrival) open-loop arrival process and a
+reuse-distance-controlled access sequence for the far-memory paging
+workload.
+
+Every generator is a pure function of its arguments -- all randomness
+flows through ``numpy.random.default_rng(seed)`` -- so workloads built
+on them are bit-identical across reruns and across pool worker counts.
+The seed conventions are documented in ``docs/workloads.md``.
 """
 
 import numpy as np
@@ -39,3 +47,63 @@ def uniform_keys(n_keys, key_space, seed=0):
     """``n_keys`` uniformly random keys in ``[0, key_space)``."""
     rng = np.random.default_rng(seed)
     return rng.integers(0, key_space, size=n_keys)
+
+
+def poisson_arrivals(n_requests, mean_gap, seed=0):
+    """Cumulative arrival times (cycles) of an open-loop Poisson process.
+
+    Draws ``n_requests`` exponential interarrival gaps with mean
+    ``mean_gap`` cycles and returns their cumulative sum as an int64
+    array of absolute arrival timestamps (each gap is rounded to at
+    least one cycle first, so two requests never share a timestamp'd
+    gap of zero). Serving clients ``Sleep`` until each timestamp and
+    then issue the request regardless of whether earlier responses have
+    returned -- the open-loop discipline that makes tail latency
+    meaningful (a closed loop would self-throttle under overload).
+    """
+    if n_requests < 0 or mean_gap <= 0:
+        raise ValueError("n_requests must be >= 0 and mean_gap positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap, size=n_requests)
+    gaps = np.maximum(1, np.rint(gaps)).astype(np.int64)
+    return np.cumsum(gaps)
+
+
+def reuse_distance_indices(n_items, n_samples, reuse_distance, seed=0, reuse_frac=0.9):
+    """An access sequence whose temporal locality is a tunable knob.
+
+    The classic warm LRU-stack-distance model: all ``n_items`` start on
+    an LRU stack in seeded random order, and each access draws a *stack
+    distance* -- with probability ``reuse_frac`` uniform over
+    ``[0, reuse_distance)``, otherwise uniform over the whole stack --
+    then touches the item at that depth and moves it to the front.
+
+    Stack distance is exactly what caches see: an LRU cache of capacity
+    ``C`` hits an access iff its distance is below ``C``. So
+    ``reuse_distance`` below the fast-tier capacity means the reuse
+    window fits (only the ``1 - reuse_frac`` far tail misses), while
+    ``reuse_distance`` above it thrashes -- larger values are strictly
+    worse locality. ``reuse_distance=0`` degenerates to uniform random
+    over all items. Used by the KV-cache paging workload to sweep hit
+    rate against resident-set size. Returns an int64 array of
+    ``n_samples`` indices.
+    """
+    if n_items <= 0 or n_samples < 0 or reuse_distance < 0:
+        raise ValueError(
+            "n_items must be positive, n_samples and reuse_distance non-negative"
+        )
+    if not 0.0 <= reuse_frac <= 1.0:
+        raise ValueError("reuse_frac must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    window = min(max(1, reuse_distance), n_items)
+    near_draw = rng.random(n_samples) < (reuse_frac if reuse_distance else 0.0)
+    near = rng.integers(0, window, size=n_samples)
+    far = rng.integers(0, n_items, size=n_samples)
+    stack = list(rng.permutation(n_items))  # most-recent first
+    out = np.empty(n_samples, dtype=np.int64)
+    for i in range(n_samples):
+        depth = int(near[i]) if near_draw[i] else int(far[i])
+        idx = stack.pop(depth)
+        stack.insert(0, idx)
+        out[i] = idx
+    return out

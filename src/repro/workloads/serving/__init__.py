@@ -1,0 +1,34 @@
+"""The serving zoo: request-serving and storage-shaped scenarios.
+
+Where the four case studies (:mod:`repro.workloads`) reproduce the
+paper's figures, this package maps *modern serving traffic* onto the
+same four NDC paradigms -- the generality claim of Sec. V, exercised
+on workload shapes the paper does not sweep itself:
+
+- :mod:`repro.workloads.serving.kvserve` -- a memcached-style KV
+  request server: seeded open-loop Poisson arrivals, GET/PUT via task
+  offload, range scans via streaming, per-class tail latency
+  (p50/p95/p99) from the telemetry span tracker.
+- :mod:`repro.workloads.serving.kvpaging` -- LLM-inference KV-cache
+  paging in the far-memory framing of *Proxics* (PAPERS.md): a morph
+  keeps hot cache pages materialized in the LLC with data-triggered
+  eviction writeback, long-lived decode actions walk them, and
+  working-set size / reuse distance are knobs.
+- :mod:`repro.workloads.serving.nearstorage` -- a scan/filter/join
+  pushdown in the near-storage shape of *Conduit* (PAPERS.md):
+  bank-mapped fact-table chunks are scanned by per-chunk tasks on the
+  engines at their banks, and only aggregates return to the cores.
+- :mod:`repro.workloads.serving.tracereplay` -- a ``RunSpec``-safe
+  JSONL trace format plus replay driver, so externally recorded access
+  traces feed the KV server bit-identically.
+
+Every module follows the conventions of ``docs/workloads.md``: pure
+``run_*(params, ...)`` entry points (pool-dispatchable, seeded,
+bit-identical across reruns and worker counts), a ``DEFAULT_PARAMS``
+dict, a scaled config builder, and a functional oracle checked on
+every run.
+"""
+
+from repro.workloads.serving import kvpaging, kvserve, nearstorage, tracereplay
+
+__all__ = ["kvserve", "kvpaging", "nearstorage", "tracereplay"]

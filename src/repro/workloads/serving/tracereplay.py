@@ -1,0 +1,145 @@
+"""Serving zoo: JSONL trace format + replay driver for the KV server.
+
+External access traces feed the simulator through a line-per-request
+JSONL format. Each line is one request::
+
+    {"t": 120, "client": 0, "op": "get", "key": 42}
+
+- ``t``      -- absolute arrival time in cycles (int, >= 0); strictly
+  increasing per client.
+- ``client`` -- issuing client id (int, >= 0); clients map round-robin
+  onto tiles.
+- ``op``     -- ``"get"``, ``"put"``, or ``"scan"``.
+- ``key``    -- the key (for scans: the range start; ``scan_len`` comes
+  from the run params).
+
+The format is deliberately ``RunSpec``-safe: a trace is plain JSON
+data, so ``run_replay`` dispatches through the experiment pool with
+the trace inline in the spec kwargs -- content-hashed, cacheable, and
+bit-identical across reruns and worker counts like any other run.
+
+Round-trip guarantee: replaying :func:`synthesize_trace` of some
+params against those same params reproduces the direct
+:func:`repro.workloads.serving.kvserve.run_leviathan` run exactly
+(same cycles, stats, and output) -- ``tests/test_serving.py`` and the
+worked example in ``docs/workloads.md`` both pin this.
+"""
+
+import json
+
+from repro.workloads.serving import kvserve
+
+#: Ops a trace line may carry.
+TRACE_OPS = ("get", "put", "scan")
+
+
+def synthesize_trace(params=None):
+    """Flatten the synthetic schedule into trace records.
+
+    Records are merged across clients in ``(t, client)`` order -- the
+    order a shared front-end would have logged them -- and replaying
+    them reconstructs each client's schedule exactly (per-client
+    arrival times are strictly increasing).
+    """
+    records = [
+        {"t": req["t"], "client": c, "op": req["op"], "key": req["key"]}
+        for c, requests in enumerate(kvserve.build_schedule(params))
+        for req in requests
+    ]
+    records.sort(key=lambda r: (r["t"], r["client"]))
+    return records
+
+
+def write_trace(records, path):
+    """Write records as JSONL (one request per line); returns ``path``."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_trace(path):
+    """Read and validate a JSONL trace file; returns the record list."""
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            records.append(_validate(record, f"{path}:{lineno}"))
+    return records
+
+
+def _validate(record, where):
+    if not isinstance(record, dict):
+        raise ValueError(f"{where}: trace record must be an object")
+    for field in ("t", "client", "key"):
+        value = record.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"{where}: field {field!r} must be a non-negative int")
+    if record.get("op") not in TRACE_OPS:
+        raise ValueError(f"{where}: op must be one of {TRACE_OPS}")
+    return {
+        "t": int(record["t"]),
+        "client": int(record["client"]),
+        "op": record["op"],
+        "key": int(record["key"]),
+    }
+
+
+def schedules_from_trace(records):
+    """Group flat trace records back into per-client schedules.
+
+    The per-client request order is the trace's own ``(t, file order)``
+    -- a stable sort, so simultaneous records keep their recorded
+    order. Clients with no requests (gaps in the id space) get empty
+    schedules, preserving the client -> tile mapping.
+    """
+    records = sorted(
+        enumerate(records), key=lambda pair: (pair[1]["t"], pair[0])
+    )
+    n_clients = 1 + max((r["client"] for _i, r in records), default=-1)
+    schedules = [[] for _ in range(n_clients)]
+    for _i, record in records:
+        schedules[record["client"]].append(
+            {"t": record["t"], "op": record["op"], "key": record["key"]}
+        )
+    return schedules
+
+
+def run_replay(
+    trace=None,
+    trace_path=None,
+    params=None,
+    n_tiles=16,
+    use_runtime=True,
+    config_overrides=None,
+):
+    """Replay a trace through the KV server; returns the ``RunResult``.
+
+    Pass either ``trace`` (a record list -- JSON-safe, so it can ride
+    inline in ``RunSpec`` kwargs) or ``trace_path`` (a JSONL file).
+    ``params`` supplies the store shape (``n_keys``, ``scan_len``,
+    ...); arrival-process params are ignored -- the trace *is* the
+    arrival process.
+    """
+    if (trace is None) == (trace_path is None):
+        raise ValueError("pass exactly one of trace= or trace_path=")
+    if trace_path is not None:
+        records = load_trace(trace_path)
+    else:
+        records = [_validate(dict(r), f"trace[{i}]") for i, r in enumerate(trace)]
+    p = kvserve._params(params)
+    return kvserve._run_kv(
+        p,
+        schedules_from_trace(records),
+        "replay" if use_runtime else "replay-baseline",
+        use_runtime=use_runtime,
+        n_tiles=n_tiles,
+        config_overrides=config_overrides,
+    )
