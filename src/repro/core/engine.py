@@ -212,6 +212,7 @@ class Engine:
             at_time=at_time,
         )
         ctx.near_memory = task.near_memory
+        ctx.cid = task.cid
         return ctx
 
     def _run(self, task):

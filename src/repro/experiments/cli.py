@@ -106,14 +106,15 @@ def main(argv=None):
         nargs="?",
         default="list",
         help="experiment name, 'all', 'list' (default), 'telemetry', "
-        "'status', or 'bench'",
+        "'status', 'explain', or 'bench'",
     )
     parser.add_argument(
         "target",
         nargs="?",
         help="for 'telemetry': the --telemetry-out directory to summarize; "
         "for 'status': the cache dir of the sweep to watch "
-        "(default: --cache-dir)",
+        "(default: --cache-dir); for 'explain': a telemetry run "
+        "directory or a cached-result .json entry",
     )
     parser.add_argument(
         "--no-check",
@@ -212,6 +213,17 @@ def main(argv=None):
         help="append structured JSONL run logs (run.start/run.end/faults/"
         "watchdog records, correlated by run id and spec hash) to FILE",
     )
+    explain_group = parser.add_argument_group(
+        "explain (latency attribution)"
+    )
+    explain_group.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="attribute the latency delta between two runs (telemetry "
+        "run dirs or cached-result .json entries) to taxonomy "
+        "components, instead of explaining a single run",
+    )
     bench_group = parser.add_argument_group("bench (host-performance lab)")
     bench_group.add_argument(
         "--trials",
@@ -287,6 +299,36 @@ def main(argv=None):
         text, ok = render_status(args.target or args.cache_dir)
         print(text)
         return 0 if ok else 1
+
+    if args.experiment == "explain":
+        from repro.experiments.explain import explain, explain_diff
+
+        # Reports land beside the data: a run-dir target gets
+        # explain.{json,md} inside it; --out (the bench history flag)
+        # overrides, which is how CI collects them as artifacts.
+        out_override = args.out if args.out != "." else None
+        try:
+            if args.diff:
+                text, _ = explain_diff(
+                    args.diff[0], args.diff[1], out_dir=out_override
+                )
+            elif args.target:
+                out_dir = out_override or (
+                    args.target if os.path.isdir(args.target) else None
+                )
+                text, _ = explain(args.target, out_dir=out_dir)
+            else:
+                print(
+                    "usage: leviathan-repro explain RUN_DIR_OR_CACHE_ENTRY"
+                    " | explain --diff A B",
+                    file=sys.stderr,
+                )
+                return 2
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"explain: {exc}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
 
     from repro.experiments.plotting import speedup_chart
 

@@ -197,12 +197,16 @@ class HeartbeatWriter:
             return {"sim_time": None, "instructions": None, "machines": 0}
         machine = self._machines[-1]
         counters = machine.stats.counters
-        return {
+        sampled = {
             "sim_time": machine.scheduler.now,
             "instructions": counters.get("core.instructions", 0)
             + counters.get("engine.instructions", 0),
             "machines": len(self._machines),
         }
+        request_p95 = _live_request_p95(machine)
+        if request_p95:
+            sampled["request_p95"] = request_p95
+        return sampled
 
     def beat(self, phase=None):
         if self._suspended and phase is None:
@@ -229,6 +233,38 @@ class HeartbeatWriter:
             handle.write("\n")
         os.replace(tmp, self.path)
         return payload
+
+
+def _live_request_p95(machine):
+    """Per-request-class p95 off the machine's live telemetry, or None.
+
+    Only available when a telemetry session is installed (the
+    ``--telemetry-out`` sweep path): the session's registry holds the
+    ``request.latency.<class>`` histograms. Reads race the simulation
+    thread by design -- plain dict/attribute reads under the GIL -- so
+    any torn iteration is simply skipped until the next beat.
+    """
+    from repro.sim.telemetry.session import active_session
+
+    session = active_session()
+    if session is None:
+        return None
+    try:
+        for telemetry in reversed(session.telemetries):
+            if telemetry.machine is not machine:
+                continue
+            out = {}
+            for name in telemetry.metrics.names():
+                cls = name.partition("request.latency.")[2]
+                if not cls:
+                    continue
+                snap = telemetry.metrics.value(name)
+                if snap and snap.get("count"):
+                    out[cls] = snap["p95"]
+            return out or None
+    except RuntimeError:
+        pass  # registry mutated mid-iteration; next beat retries
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -327,11 +363,18 @@ def _fmt_sim_time(value):
 
 
 def _beat_line(beat):
-    return (
+    line = (
         f"{beat.get('label', '?')}  phase={beat.get('phase', '?')}"
         f"  t={_fmt_sim_time(beat.get('sim_time'))}"
         f"  up {beat.get('elapsed', 0.0):.1f}s  (pid {beat.get('pid', '?')})"
     )
+    request_p95 = beat.get("request_p95")
+    if request_p95:
+        tails = " ".join(
+            f"{cls}<={request_p95[cls]:.0f}" for cls in sorted(request_p95)
+        )
+        line += f"  p95[{tails}]"
+    return line
 
 
 def render_status(root, now=None):
@@ -368,7 +411,37 @@ def render_status(root, now=None):
             f"  failed: {entry.get('label', '?')}: "
             f"{error.get('type', '?')}: {error.get('message', '')}"
         )
+    requests = _dashboard_requests(root)
+    if requests:
+        tails = ", ".join(
+            f"{cls} p95<={hist['p95']:.0f}"
+            for cls, hist in sorted(requests.items())
+            if hist.get("count")
+        )
+        if tails:
+            lines.append(f"  request-class tails (dashboard): {tails}")
     return "\n".join(lines), True
+
+
+def _dashboard_requests(root):
+    """The ``requests`` block of ``root``'s sweep dashboard, if written.
+
+    A finished ``--telemetry-out`` sweep aggregates per-request-class
+    latency into ``dashboard.json``; when status is pointed at (or
+    beside) that directory the per-class tails ride along.
+    """
+    for candidate in (root, os.path.dirname(root.rstrip(os.sep)) or "."):
+        try:
+            with open(os.path.join(candidate, "dashboard.json")) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if (
+            isinstance(payload, dict)
+            and payload.get("kind") == "leviathan-dashboard"
+        ):
+            return payload.get("requests") or None
+    return None
 
 
 # ----------------------------------------------------------------------

@@ -85,6 +85,15 @@ def run_serve_kv(params=None, pool=None):
         study["leviathan"].stat("request.scan.p99"),
         study["leviathan"].stat("request.get.p99"),
     )
+    # Fault-free runs must attribute essentially every request cycle to
+    # a named critical-path component (`leviathan explain` honesty bar).
+    for cls in ("get", "put", "scan"):
+        exp.expect(
+            f"{cls}: attribution coverage >= 99%",
+            "greater",
+            study["leviathan"].stat(f"attribution.{cls}.coverage"),
+            0.99,
+        )
     return exp
 
 
@@ -196,6 +205,27 @@ def run_serve_scan(params=None, pool=None):
         "greater",
         study["leviathan"].stat("request.storage_scan.count"),
         100,
+    )
+    # The pushdown story in one number: the attribution waterfall should
+    # blame the memory system (NoC transit + DRAM service + cache walk),
+    # not engine compute, for the bulk of scan-request cycles.
+    lev = study["leviathan"]
+    memory_bound = sum(
+        lev.stat(f"attribution.storage_scan.{component}.total")
+        for component in ("noc_transit", "dram_service", "cache_walk")
+    )
+    cycles = lev.stat("attribution.storage_scan.cycles")
+    exp.expect(
+        "scan requests are memory-bound (NoC+DRAM+cache majority)",
+        "greater",
+        memory_bound / cycles if cycles else 0.0,
+        0.5,
+    )
+    exp.expect(
+        "storage_scan: attribution coverage >= 99%",
+        "greater",
+        lev.stat("attribution.storage_scan.coverage"),
+        0.99,
     )
     return exp
 

@@ -55,6 +55,14 @@ def _read_json(path):
     return payload, None
 
 
+def _attribution_coverage(run_dir):
+    """Coverage from ``attribution.json``, or None when not captured."""
+    payload, _problem = _read_json(os.path.join(run_dir, "attribution.json"))
+    if not payload or not payload.get("classes"):
+        return None
+    return payload.get("coverage")
+
+
 def summarize_run(run_dir):
     """The digest dict for one run directory (validates the trace).
 
@@ -91,6 +99,8 @@ def summarize_run(run_dir):
         "trace_problems": problems,
         "spans_unclosed": meta.get("spans_unclosed", 0),
         "spans_dropped": meta.get("spans_dropped", 0),
+        "spans_orphaned": meta.get("spans_orphaned", 0),
+        "attribution_coverage": _attribution_coverage(run_dir),
         "invoke_latency": histograms.get("invoke.latency"),
         "nacks": count_with_label(
             counters, "engine.arrivals", 'outcome="nacked"'
@@ -107,8 +117,15 @@ def render(summary):
     lines.append(
         f"   trace: {status}, {summary['trace_events']} events, "
         f"{summary['trace_spans']} spans "
-        f"(unclosed {summary['spans_unclosed']}, dropped {summary['spans_dropped']})"
+        f"(unclosed {summary['spans_unclosed']}, dropped {summary['spans_dropped']}, "
+        f"orphaned segments {summary['spans_orphaned']})"
     )
+    if summary.get("attribution_coverage") is not None:
+        lines.append(
+            f"   attribution coverage: "
+            f"{summary['attribution_coverage'] * 100:.2f}% "
+            f"(run `leviathan explain {summary['dir']}` for the waterfall)"
+        )
     for problem in summary["trace_problems"][:5]:
         lines.append(f"   !! {problem}")
     if summary["cycles"] is not None:
@@ -161,6 +178,60 @@ def _bucket_percentile(buckets, count, p):
     return float(bounds[-1])
 
 
+def _empty_component():
+    return {
+        "total": 0.0,
+        "count": 0,
+        "sum": 0.0,
+        "min": None,
+        "max": None,
+        "buckets": {},
+    }
+
+
+def aggregate_attribution(root):
+    """Merge every ``attribution.json`` under ``root`` per request class.
+
+    Per-component histograms merge bucket-wise (the same scheme the
+    latency histograms use), so the reported waterfall percentiles are
+    sweep-wide; coverage is cycle-weighted across machines. Returns
+    ``{}`` when no run captured attribution.
+    """
+    merged = {}
+    for run_dir in find_runs(root):
+        payload, _problem = _read_json(
+            os.path.join(run_dir, "attribution.json")
+        )
+        if not payload:
+            continue
+        for cls, entry in (payload.get("classes") or {}).items():
+            dest = merged.setdefault(
+                cls,
+                {"count": 0, "cycles": 0.0, "residue": 0.0, "components": {}},
+            )
+            dest["count"] += entry.get("count", 0)
+            cycles = entry.get("cycles", 0.0)
+            dest["cycles"] += cycles
+            dest["residue"] += (1.0 - entry.get("coverage", 1.0)) * cycles
+            for component, comp in (entry.get("components") or {}).items():
+                comp_dest = dest["components"].setdefault(
+                    component, _empty_component()
+                )
+                comp_dest["total"] += comp.get("total", 0.0)
+                _merge_histogram(comp_dest, comp)
+    for dest in merged.values():
+        cycles = dest["cycles"]
+        dest["coverage"] = 1.0 - dest["residue"] / cycles if cycles else 1.0
+        del dest["residue"]
+        for comp in dest["components"].values():
+            count = comp["count"]
+            comp["mean"] = comp["sum"] / count if count else 0.0
+            comp["share"] = comp["total"] / cycles if cycles else 0.0
+            for p in (50, 95, 99):
+                comp[f"p{p}"] = _bucket_percentile(comp["buckets"], count, p)
+    return merged
+
+
 def aggregate_sweep(root):
     """Cross-run aggregation of one sweep's telemetry artifacts.
 
@@ -180,12 +251,14 @@ def aggregate_sweep(root):
     fault_reports_seen = set()
     nacks = 0
     runs_with_problems = 0
+    spans_orphaned = 0
     for run_dir in runs:
         summary = summarize_run(run_dir)
         if summary["trace_problems"]:
             runs_with_problems += 1
         if summary["cycles"] is not None:
             cycles.append(summary["cycles"])
+        spans_orphaned += summary["spans_orphaned"]
         metrics, _problem = _read_json(os.path.join(run_dir, "metrics.json"))
         metrics = metrics or {}
         nacks += count_with_label(
@@ -243,6 +316,8 @@ def aggregate_sweep(root):
         "subsystems": dict(sorted(subsystems.items())),
         "histograms": dict(sorted(histograms.items())),
         "requests": dict(sorted(requests.items())),
+        "attribution": aggregate_attribution(root),
+        "spans_orphaned": spans_orphaned,
         "faults_injected": faults_injected,
         "retries": counters.get("invoke.retries_observed", 0),
         "nacks": nacks,
@@ -313,6 +388,45 @@ def render_dashboard(agg):
                 f"| {hist['p50']:.0f} | {hist['p95']:.0f} | {hist['p99']:.0f} "
                 f"| {hist['max']:.0f} |"
             )
+    attribution = agg.get("attribution") or {}
+    if any(entry["count"] for entry in attribution.values()):
+        lines += [
+            "",
+            "## Latency attribution waterfall (critical-path cycles per class)",
+            "",
+        ]
+        if agg.get("spans_orphaned"):
+            lines.append(
+                f"orphaned span segments (excluded from attribution): "
+                f"**{agg['spans_orphaned']}**"
+            )
+            lines.append("")
+        lines += [
+            "| class | component | cycles | share | p50 | p95 | p99 |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for cls in sorted(attribution):
+            entry = attribution[cls]
+            if not entry["count"]:
+                continue
+            for component in sorted(
+                entry["components"],
+                key=lambda c: -entry["components"][c]["total"],
+            ):
+                comp = entry["components"][component]
+                if not comp["total"]:
+                    continue
+                lines.append(
+                    f"| {cls} | {component} | {comp['total']:.0f} "
+                    f"| {comp['share'] * 100:.1f}% | {comp['p50']:.0f} "
+                    f"| {comp['p95']:.0f} | {comp['p99']:.0f} |"
+                )
+        coverages = ", ".join(
+            f"{cls} {entry['coverage'] * 100:.2f}%"
+            for cls, entry in sorted(attribution.items())
+            if entry["count"]
+        )
+        lines += ["", f"attribution coverage: {coverages}"]
     lines += [
         "",
         "## Per-subsystem counter totals",

@@ -231,23 +231,48 @@ def _escape_help(text):
     return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _prom_label_name(name):
+    """Sanitize one label *name* per the exposition format.
+
+    Label names must match ``[a-zA-Z_][a-zA-Z0-9_]*`` -- unlike label
+    values they cannot be escaped, only rewritten.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 def _prom_suffix(label_key):
     """Like :func:`_label_suffix`, but exposition-format escaped.
 
-    JSON snapshot keys keep the raw values (they live inside JSON
-    strings, which have their own escaping); only the text exposition
-    needs this."""
+    JSON snapshot keys keep the raw names and values (they live inside
+    JSON strings, which have their own escaping); only the text
+    exposition needs sanitized label names and escaped values."""
     if not label_key:
         return ""
     return (
         "{"
-        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in label_key)
+        + ",".join(
+            f'{_prom_label_name(k)}="{_escape_label_value(v)}"'
+            for k, v in label_key
+        )
         + "}"
     )
 
 
-def _prom_name(name):
-    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+def _prom_name(name, kind=None):
+    """The exposition-format metric name for ``name``.
+
+    Invalid characters are rewritten to ``_``; counters get the
+    conventional ``_total`` suffix exactly once (a metric already named
+    ``*_total`` -- possibly only after sanitization -- is not
+    double-suffixed).
+    """
+    prom = "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if kind == "counter" and not prom.endswith("_total"):
+        prom += "_total"
+    return prom
 
 
 class MetricsRegistry:
@@ -357,15 +382,17 @@ class MetricsRegistry:
         lines = []
         for name in sorted(self._families):
             family = self._families[name]
-            prom = _prom_name(name)
             kind = family["kind"]
+            # The HELP/TYPE lines must carry the same name the samples
+            # use, so the counter suffix is applied before either.
+            prom = _prom_name(name, kind)
             if family["help"]:
                 lines.append(f"# HELP {prom} {_escape_help(family['help'])}")
             if kind == "counter":
-                lines.append(f"# TYPE {prom}_total counter")
+                lines.append(f"# TYPE {prom} counter")
                 for key in sorted(family["series"]):
                     value = family["series"][key].value
-                    lines.append(f"{prom}_total{_prom_suffix(key)} {value}")
+                    lines.append(f"{prom}{_prom_suffix(key)} {value}")
             elif kind == "gauge":
                 lines.append(f"# TYPE {prom} gauge")
                 for key in sorted(family["series"]):

@@ -35,13 +35,15 @@ def _span_events(span, uid):
     return events
 
 
-def chrome_trace(spans, metrics=None, meta=None, tile_of_label=("tile", "bank")):
+def chrome_trace(spans, metrics=None, meta=None, tile_of_label=("tile", "bank"), extra_events=None):
     """Build the Chrome-trace dict from spans and a metrics registry.
 
     ``metrics`` is an optional
     :class:`~repro.sim.telemetry.metrics.MetricsRegistry` whose time
     series become counter tracks; a series labeled with any key in
     ``tile_of_label`` is anchored to that tile's process.
+    ``extra_events`` are pre-built trace events merged into the
+    timeline (the critical-path flow arrows use this).
     """
     events = []
     pids = set()
@@ -51,6 +53,11 @@ def chrome_trace(spans, metrics=None, meta=None, tile_of_label=("tile", "bank"))
         span_events = _span_events(span, uid)
         pids.update(e["pid"] for e in span_events)
         events.extend(span_events)
+
+    if extra_events:
+        for event in extra_events:
+            pids.add(event.get("pid", MACHINE_PID))
+            events.append(dict(event))
 
     if metrics is not None:
         for name in metrics.names():
@@ -108,9 +115,9 @@ def chrome_trace(spans, metrics=None, meta=None, tile_of_label=("tile", "bank"))
     }
 
 
-def write_chrome_trace(path, spans, metrics=None, meta=None):
+def write_chrome_trace(path, spans, metrics=None, meta=None, extra_events=None):
     """Serialize :func:`chrome_trace` to ``path``; returns the path."""
-    trace = chrome_trace(spans, metrics=metrics, meta=meta)
+    trace = chrome_trace(spans, metrics=metrics, meta=meta, extra_events=extra_events)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return path

@@ -30,10 +30,14 @@ Usage::
     result.stats.update(probe.stat_fields())   # request.get.p95, ...
 """
 
+from repro.sim.telemetry.critpath import COMPONENTS
 from repro.sim.telemetry.session import Telemetry
 
 #: Snapshot fields copied into flat per-class stats, in report order.
 PERCENTILE_FIELDS = ("count", "p50", "p95", "p99", "mean", "max")
+
+#: Per-component fields copied into flat attribution stats.
+ATTRIBUTION_FIELDS = ("total", "p50", "p95", "p99")
 
 
 def declare_request_classes(machine, classes):
@@ -91,16 +95,40 @@ class RequestLatencyProbe:
             out[cls] = self.telemetry.metrics.value(f"request.latency.{cls}")
         return out
 
+    def attribution(self):
+        """The probe's latency-attribution rollup (finalize first)."""
+        return self.telemetry.attribution
+
     def stat_fields(self):
         """Flat JSON-safe floats for ``RunResult.stats``.
 
         One ``request.<class>.<field>`` entry per class and percentile
-        field, e.g. ``request.get.p99``. Classes that saw no requests
-        report zeros, so reruns always produce the same key set.
+        field, e.g. ``request.get.p99``, plus the latency-attribution
+        waterfall: ``attribution.<class>.<component>.<field>`` for every
+        taxonomy component (see
+        :data:`~repro.sim.telemetry.critpath.COMPONENTS`) and
+        ``attribution.<class>.{count,cycles,coverage}``. Classes that
+        saw no requests report zeros, so reruns always produce the same
+        key set.
         """
         fields = {}
         for cls, snap in self.percentiles().items():
             for field in PERCENTILE_FIELDS:
                 value = 0.0 if snap is None else float(snap[field])
                 fields[f"request.{cls}.{field}"] = value
+        attribution = self.telemetry.attribution.snapshot()
+        for cls in sorted(set(self.classes.values())):
+            entry = attribution.get(cls)
+            base = f"attribution.{cls}"
+            fields[f"{base}.count"] = float(entry["count"]) if entry else 0.0
+            fields[f"{base}.cycles"] = float(entry["cycles"]) if entry else 0.0
+            fields[f"{base}.coverage"] = (
+                float(entry["coverage"]) if entry else 1.0
+            )
+            for component in COMPONENTS:
+                comp = entry["components"][component] if entry else None
+                for field in ATTRIBUTION_FIELDS:
+                    fields[f"{base}.{component}.{field}"] = (
+                        float(comp[field]) if comp else 0.0
+                    )
         return fields

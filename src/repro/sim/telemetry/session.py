@@ -23,6 +23,7 @@ state, but never advances time or mutates anything, so simulated
 results are bit-identical with and without it attached.
 """
 
+import json
 import os
 
 from repro.sim.events import (
@@ -45,6 +46,12 @@ from repro.sim.events import (
     StreamPush,
     WatchdogFired,
 )
+from repro.sim.telemetry.critpath import (
+    AccessCostModel,
+    AttributionRollup,
+    critical_path_flows,
+    span_class,
+)
 from repro.sim.telemetry.metrics import MetricsRegistry
 from repro.sim.telemetry.perfetto import chrome_trace, write_chrome_trace
 from repro.sim.telemetry.spans import SpanTracker
@@ -58,6 +65,12 @@ class Telemetry:
         self.label = label
         self.metrics = MetricsRegistry(default_window=window)
         self.spans = SpanTracker(max_spans=max_spans, on_close=self._span_closed)
+        #: Per-request latency attribution (see critpath.COMPONENTS).
+        self.attribution = AttributionRollup()
+        #: cid -> accumulated [cache, noc, dram] memory cycles, stashed
+        #: onto the invoke span's args at close time.
+        self._mem = {}
+        self._cost_model = None
         self._finalized = False
         self._attached = False
         self._handlers = (
@@ -153,6 +166,13 @@ class Telemetry:
 
     def _span_closed(self, span):
         if span.cat == "invoke":
+            mem = self._mem.pop(span.cid, None)
+            if mem is not None:
+                span.args["mem_cycles"] = {
+                    "cache": mem[0],
+                    "noc": mem[1],
+                    "dram": mem[2],
+                }
             self.metrics.histogram(
                 "invoke.latency",
                 help="invoke issue to completion (incl. future fill), cycles",
@@ -181,6 +201,14 @@ class Telemetry:
             self.metrics.histogram(
                 "stream.block_cycles", labels={"side": span.args.get("side", "?")}
             ).observe(span.duration)
+        if span.cat in ("invoke", "stream"):
+            # Stamp the resolved class onto the span so offline
+            # attribution (explain over trace.json) lands every span in
+            # the same bucket the live rollup used.
+            span.args["request_class"] = span_class(
+                span, self.machine.request_classes
+            )
+            self.attribution.observe_span(span)
 
     def _observe_request(self, key, duration):
         """Bucket a closed span into its request-class latency histogram.
@@ -316,6 +344,24 @@ class Telemetry:
         self.metrics.histogram(
             "mem.request_latency", labels={"by": who}
         ).observe(ev.result.latency)
+        # Attribute the access to the invoke executing it: engine task
+        # contexts carry their invoke's cid, and the scheduler's current
+        # context is exactly who issued this access. The decomposition
+        # accumulates per cid and lands on the span at close time.
+        current = self.machine.scheduler.current
+        cid = getattr(current, "cid", None) if current is not None else None
+        if cid is None or not self.spans.is_open(cid):
+            return
+        if self._cost_model is None:
+            self._cost_model = AccessCostModel(self.machine)
+        cache, noc, dram = self._cost_model.decompose(ev.result)
+        acc = self._mem.get(cid)
+        if acc is None:
+            self._mem[cid] = [cache, noc, dram]
+        else:
+            acc[0] += cache
+            acc[1] += noc
+            acc[2] += dram
 
     # ------------------------------------------------------------------
     # teardown and artifacts
@@ -331,6 +377,12 @@ class Telemetry:
         self.metrics.gauge("spans.finished").set(len(self.spans.finished))
         self.metrics.counter("spans.unclosed").inc(self.spans.unclosed)
         self.metrics.counter("spans.dropped").inc(self.spans.dropped)
+        self.metrics.counter("spans.orphans").inc(self.spans.orphans)
+        if self.attribution:
+            self.metrics.gauge(
+                "attribution.coverage",
+                help="fraction of request cycles a named component explains",
+            ).set(self.attribution.coverage())
         return self
 
     def meta(self):
@@ -341,15 +393,30 @@ class Telemetry:
             "spans": len(self.spans.finished),
             "spans_unclosed": self.spans.unclosed,
             "spans_dropped": self.spans.dropped,
+            "spans_orphaned": self.spans.orphans,
         }
 
     def trace(self):
         """The Chrome-trace dict for this run (finalizes first)."""
         self.finalize()
-        return chrome_trace(self.spans.finished, metrics=self.metrics, meta=self.meta())
+        return chrome_trace(
+            self.spans.finished,
+            metrics=self.metrics,
+            meta=self.meta(),
+            extra_events=critical_path_flows(self.spans.finished),
+        )
+
+    def attribution_report(self):
+        """The JSON-safe ``latency_attribution`` block (finalizes first)."""
+        self.finalize()
+        return {
+            "meta": self.meta(),
+            "coverage": self.attribution.coverage(),
+            "classes": self.attribution.snapshot(),
+        }
 
     def save(self, outdir):
-        """Write trace.json / metrics.json / metrics.prom into ``outdir``."""
+        """Write trace.json / metrics.json / metrics.prom / attribution.json."""
         self.finalize()
         os.makedirs(outdir, exist_ok=True)
         meta = self.meta()
@@ -358,11 +425,14 @@ class Telemetry:
             self.spans.finished,
             metrics=self.metrics,
             meta=meta,
+            extra_events=critical_path_flows(self.spans.finished),
         )
         with open(os.path.join(outdir, "metrics.json"), "w") as handle:
             handle.write(self.metrics.to_json(meta=meta))
         with open(os.path.join(outdir, "metrics.prom"), "w") as handle:
             handle.write(self.metrics.render_prometheus(meta=meta))
+        with open(os.path.join(outdir, "attribution.json"), "w") as handle:
+            json.dump(self.attribution_report(), handle, indent=2, sort_keys=True)
         return outdir
 
     def summary(self):

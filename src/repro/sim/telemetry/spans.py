@@ -109,7 +109,16 @@ class SpanTracker:
         self.finished = []
         self.dropped = 0
         self.unclosed = 0
+        #: Lifecycle events whose cid was *never* begun: an end without
+        #: a beginning (subscriber attached mid-run, or a torn event
+        #: stream). Post-close chatter for a span that did exist -- e.g.
+        #: a chained invoke's FutureFilled after its own close -- is not
+        #: an orphan.
+        self.orphans = 0
         self._open = {}
+        #: Every cid ever begun (including spans dropped at the cap, so
+        #: their later lifecycle events do not read as orphans).
+        self._seen = set()
         #: (stream, side) -> open stream-wait span.
         self._blocked = {}
         self._wait_seq = 0
@@ -118,11 +127,22 @@ class SpanTracker:
     # bookkeeping
     # ------------------------------------------------------------------
     def _begin(self, span):
+        self._seen.add(span.cid)
         if len(self.finished) + len(self._open) >= self.max_spans:
             self.dropped += 1
             return None
         self._open[span.cid] = span
         return span
+
+    def _lookup(self, cid):
+        """The open span for ``cid``, counting never-begun cids as orphans."""
+        span = self._open.get(cid)
+        if span is None and cid not in self._seen:
+            self.orphans += 1
+        return span
+
+    def is_open(self, cid):
+        return cid in self._open
 
     def _close(self, span, end):
         span.end = max(end, span.start)
@@ -175,7 +195,7 @@ class SpanTracker:
     def invoke_stalled(self, ev):
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.open_phase("buffer-wait", ev.time)
@@ -186,7 +206,7 @@ class SpanTracker:
     def engine_task(self, ev):
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         if not ev.accepted:
@@ -201,7 +221,7 @@ class SpanTracker:
     def engine_start(self, ev):
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.close_phase("nack-wait", ev.time)
@@ -210,7 +230,7 @@ class SpanTracker:
     def engine_done(self, ev):
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.close_phase("execute", ev.time)
@@ -229,7 +249,7 @@ class SpanTracker:
     def future_filled(self, ev):
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.args["future_filled_at"] = ev.time
@@ -251,7 +271,7 @@ class SpanTracker:
         """Annotate the invoke's span with its retry history."""
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.args["retries"] = ev.attempt
@@ -261,7 +281,7 @@ class SpanTracker:
         """Mark the invoke's span with the degradation path it took."""
         if ev.cid is None:
             return
-        span = self._open.get(ev.cid)
+        span = self._lookup(ev.cid)
         if span is None:
             return
         span.args["degraded"] = ev.kind
@@ -296,7 +316,7 @@ class SpanTracker:
             waiting = self._blocked.pop((ev.stream, "producer"), None)
             if waiting is not None:
                 self._close(waiting, ev.time)
-        span = self._open.get(("stream", ev.stream, ev.index))
+        span = self._lookup(("stream", ev.stream, ev.index))
         if span is not None:
             span.args["messaged"] = ev.messaged
             self._close(span, ev.time)

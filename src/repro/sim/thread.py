@@ -32,6 +32,7 @@ class Context:
         "on_done",
         "parked_on",
         "near_memory",
+        "cid",
         "send_value",
         "retry_op",
         "send",
@@ -55,6 +56,10 @@ class Context:
         #: Near-memory task (Sec. IX extension): uncached accesses go
         #: straight to DRAM instead of through a distant LLC bank.
         self.near_memory = False
+        #: Correlation id of the invoke this context executes (None for
+        #: core threads). Set by the engine at accept time; read only by
+        #: telemetry to attribute memory latency to the invoke's span.
+        self.cid = None
         #: Scheduler resume state. A context sits in at most one run
         #: list (or heap entry) at a time, so the value to send into the
         #: generator -- and the operation to re-execute after a
@@ -77,7 +82,7 @@ class InlineContext:
 
     inline = True
 
-    __slots__ = ("tile", "is_engine", "engine", "name", "time", "near_memory")
+    __slots__ = ("tile", "is_engine", "engine", "name", "time", "near_memory", "cid")
 
     def __init__(self, tile, is_engine=True, name="inline-action"):
         self.tile = tile
@@ -86,3 +91,4 @@ class InlineContext:
         self.name = name
         self.time = 0.0
         self.near_memory = False
+        self.cid = None

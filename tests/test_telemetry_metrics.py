@@ -170,7 +170,8 @@ class TestPrometheusEscaping:
         reg = MetricsRegistry()
         reg.counter("h.m", help="line1\nline2\\tail").inc()
         text = reg.render_prometheus(meta={"note": "a\nb"})
-        assert "# HELP repro_h_m line1\\nline2\\\\tail" in text
+        # HELP carries the same (suffixed) name the samples use.
+        assert "# HELP repro_h_m_total line1\\nline2\\\\tail" in text
         assert "# META note a\\nb" in text
 
     def test_histogram_le_labels_escaped_alongside_user_labels(self):
@@ -179,3 +180,37 @@ class TestPrometheusEscaping:
         text = reg.render_prometheus()
         assert 'repro_lat_bucket{le="4.0",who="q\\"q"} 1' in text
         assert 'repro_lat_count{who="q\\"q"} 1' in text
+
+
+class TestPrometheusNaming:
+    """Exposition-format naming rules: counters end in ``_total`` on
+    every line (HELP/TYPE/samples alike, never doubled), and invalid
+    characters in metric *and label* names are rewritten -- JSON
+    snapshot keys stay raw."""
+
+    def test_counter_help_type_and_samples_share_the_suffixed_name(self):
+        reg = MetricsRegistry()
+        reg.counter("invoke.retries", help="resend count").inc(2)
+        text = reg.render_prometheus()
+        assert "# HELP repro_invoke_retries_total resend count" in text
+        assert "# TYPE repro_invoke_retries_total counter" in text
+        assert "repro_invoke_retries_total 2" in text
+        # The unsuffixed name never appears as a sample.
+        assert "\nrepro_invoke_retries " not in text
+
+    def test_counter_named_total_is_not_double_suffixed(self):
+        reg = MetricsRegistry()
+        reg.counter("flits.total").inc(5)
+        text = reg.render_prometheus()
+        assert "repro_flits_total 5" in text
+        assert "repro_flits_total_total" not in text
+
+    def test_label_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"bad-name": "v", "9lead": "w"}).inc()
+        text = reg.render_prometheus()
+        assert 'bad_name="v"' in text
+        assert '_9lead="w"' in text
+        # Snapshot keys keep the raw label names.
+        keys = list(reg.snapshot()["counters"])
+        assert keys == ['m{9lead="w",bad-name="v"}']
